@@ -1,0 +1,223 @@
+// Package bench holds one testing.B benchmark per paper table and
+// figure. Each bench runs a scaled-down version of the corresponding
+// experiment (cmd/ tools regenerate the full-size rows); b.ReportMetric
+// attaches the headline numbers so `go test -bench=.` prints the same
+// series shape the paper reports.
+package bench
+
+import (
+	"testing"
+
+	"tokencmp/internal/cpu"
+	"tokencmp/internal/experiments"
+	"tokencmp/internal/machine"
+	"tokencmp/internal/mc"
+	"tokencmp/internal/mc/models"
+	"tokencmp/internal/network"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/tokencmp"
+	"tokencmp/internal/topo"
+	"tokencmp/internal/workload"
+)
+
+func simNewEngine() *sim.Engine { return sim.NewEngine() }
+
+func benchOpts() experiments.Options {
+	opt := experiments.DefaultOptions()
+	opt.Seeds = 1
+	opt.Acquires = 12
+	opt.Barriers = 5
+	opt.TxnsPerProc = 8
+	return opt
+}
+
+// BenchmarkFig2LockingPersistent regenerates Figure 2: the locking sweep
+// with persistent-requests-only policies.
+func BenchmarkFig2LockingPersistent(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		sweep, err := experiments.RunLockSweep(
+			[]string{"TokenCMP-arb0", "DirectoryCMP", "DirectoryCMP-zero", "TokenCMP-dst0"},
+			[]int{2, 32, 512}, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			base := sweep.Baseline()
+			b.ReportMetric(sweep.Cells["TokenCMP-arb0"][0].Runtime.Mean()/base, "arb0@2locks")
+			b.ReportMetric(sweep.Cells["TokenCMP-dst0"][0].Runtime.Mean()/base, "dst0@2locks")
+			b.ReportMetric(sweep.Cells["TokenCMP-dst0"][2].Runtime.Mean()/base, "dst0@512locks")
+		}
+	}
+}
+
+// BenchmarkFig3LockingTransient regenerates Figure 3: the sweep with
+// transient + persistent policies.
+func BenchmarkFig3LockingTransient(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		sweep, err := experiments.RunLockSweep(
+			[]string{"DirectoryCMP", "TokenCMP-dst4", "TokenCMP-dst1", "TokenCMP-dst1-pred"},
+			[]int{2, 32, 512}, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			base := sweep.Baseline()
+			b.ReportMetric(sweep.Cells["TokenCMP-dst1"][2].Runtime.Mean()/base, "dst1@512locks")
+			b.ReportMetric(sweep.Cells["TokenCMP-dst4"][0].Runtime.Mean()/base, "dst4@2locks")
+			b.ReportMetric(sweep.Cells["TokenCMP-dst1-pred"][0].Runtime.Mean()/base, "dst1pred@2locks")
+		}
+	}
+}
+
+// BenchmarkTable4Barrier regenerates Table 4: the barrier micro-benchmark
+// under fixed and jittered work.
+func BenchmarkTable4Barrier(b *testing.B) {
+	opt := benchOpts()
+	protos := []string{"TokenCMP-arb0", "TokenCMP-dst0", "DirectoryCMP", "TokenCMP-dst1"}
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.RunBarrierTable(protos, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			base := table.Fixed["DirectoryCMP"].Runtime.Mean()
+			b.ReportMetric(table.Fixed["TokenCMP-arb0"].Runtime.Mean()/base, "arb0-fixed")
+			b.ReportMetric(table.Fixed["TokenCMP-dst1"].Runtime.Mean()/base, "dst1-fixed")
+		}
+	}
+}
+
+// BenchmarkFig6Runtime regenerates Figure 6: commercial-workload runtime
+// normalized to DirectoryCMP (the paper's 10–50% speedups).
+func BenchmarkFig6Runtime(b *testing.B) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCommercial(
+			[]string{"OLTP", "SPECjbb"},
+			[]string{"DirectoryCMP", "TokenCMP-dst1", "PerfectL2"}, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, wl := range res.Workloads {
+				base := res.Cells[wl]["DirectoryCMP"].Runtime.Mean()
+				tok := res.Cells[wl]["TokenCMP-dst1"].Runtime.Mean()
+				b.ReportMetric((base/tok-1)*100, wl+"-speedup-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig7aInterTraffic regenerates Figure 7a: inter-CMP bytes
+// normalized to DirectoryCMP.
+func BenchmarkFig7aInterTraffic(b *testing.B) {
+	benchTraffic(b, stats.InterCMP, "inter")
+}
+
+// BenchmarkFig7bIntraTraffic regenerates Figure 7b: intra-CMP bytes
+// normalized to DirectoryCMP.
+func BenchmarkFig7bIntraTraffic(b *testing.B) {
+	benchTraffic(b, stats.IntraCMP, "intra")
+}
+
+func benchTraffic(b *testing.B, level stats.Level, tag string) {
+	opt := benchOpts()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCommercial(
+			[]string{"OLTP"},
+			[]string{"DirectoryCMP", "TokenCMP-dst1", "TokenCMP-dst1-filt"}, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			base := float64(res.Cells["OLTP"]["DirectoryCMP"].Traffic.TotalBytes(level))
+			tok := float64(res.Cells["OLTP"]["TokenCMP-dst1"].Traffic.TotalBytes(level))
+			filt := float64(res.Cells["OLTP"]["TokenCMP-dst1-filt"].Traffic.TotalBytes(level))
+			b.ReportMetric(tok/base, tag+"-dst1-vs-dir")
+			b.ReportMetric(filt/base, tag+"-filt-vs-dir")
+		}
+	}
+}
+
+// BenchmarkSec5ModelCheck regenerates the Section 5 verification effort
+// comparison (reachable-state counts).
+func BenchmarkSec5ModelCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := models.DefaultTokenConfig(models.SafetyOnly)
+		safety := mc.Check(models.NewTokenModel(cfg), 0)
+		dir := mc.Check(models.DefaultDirModel(), 0)
+		if !safety.OK() || !dir.OK() {
+			b.Fatal("model checking failed")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(safety.States), "safety-states")
+			b.ReportMetric(float64(dir.States), "dir-states")
+		}
+	}
+}
+
+// BenchmarkProtocolHandoff measures the raw simulator: one contended
+// block bouncing among 16 processors (an ablation of protocol overhead
+// rather than a paper figure).
+func BenchmarkProtocolHandoff(b *testing.B) {
+	for _, proto := range []string{"DirectoryCMP", "TokenCMP-dst1"} {
+		proto := proto
+		b.Run(proto, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := machine.New(machine.Config{Protocol: proto, Geom: topo.NewGeometry(4, 4, 4), Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lc := workload.DefaultLocking(2)
+				lc.Acquires = 8
+				progs, _ := workload.LockingPrograms(lc, 16, 1)
+				if _, err := m.Run(progs, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMigratory quantifies the migratory-sharing
+// optimization the paper highlights as a one-knob policy change (§5):
+// OLTP runtime with and without it.
+func BenchmarkAblationMigratory(b *testing.B) {
+	run := func(disable bool) float64 {
+		eng := simNewEngine()
+		g := topo.NewGeometry(4, 4, 4)
+		cfg := tokencmp.DefaultConfig(g, tokencmp.Dst1)
+		cfg.DisableMigratory = disable
+		cfg.L1Size = 16 << 10
+		cfg.L2BankSize = 64 << 10
+		sys := tokencmp.NewSystem(eng, cfg, network.Default())
+		params := workload.OLTP()
+		params.TxnsPerProc = 8
+		progs, _ := workload.CommercialPrograms(params, g.TotalProcs(), 1)
+		procs := make([]*cpu.Processor, len(progs))
+		for i := range progs {
+			d, in := sys.Ports(i)
+			procs[i] = &cpu.Processor{ID: i, Eng: eng, Data: d, Inst: in, Prog: progs[i]}
+			procs[i].Start()
+		}
+		eng.RunUntil(func() bool {
+			for _, p := range procs {
+				if !p.Finished() {
+					return false
+				}
+			}
+			return true
+		}, 0)
+		return float64(eng.Now())
+	}
+	for i := 0; i < b.N; i++ {
+		with := run(false)
+		without := run(true)
+		if i == 0 {
+			b.ReportMetric(without/with, "no-migratory-slowdown-x")
+		}
+	}
+}

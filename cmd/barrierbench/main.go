@@ -1,0 +1,38 @@
+// barrierbench regenerates Table 4: barrier micro-benchmark runtimes
+// under fixed (3000 ns) and jittered (3000 ± U(1000) ns) work, for every
+// protocol, normalized to DirectoryCMP.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tokencmp/internal/experiments"
+	"tokencmp/internal/machine"
+)
+
+func main() {
+	var (
+		barriers = flag.Int("barriers", 20, "barrier rounds")
+		seeds    = flag.Int("seeds", 3, "perturbed runs per configuration")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Barriers = *barriers
+	opt.Seeds = *seeds
+
+	protos := []string{
+		"TokenCMP-arb0", "TokenCMP-dst0",
+		"DirectoryCMP", "DirectoryCMP-zero",
+		"TokenCMP-dst4", "TokenCMP-dst1", "TokenCMP-dst1-pred", "TokenCMP-dst1-filt",
+	}
+	_ = machine.Protocols()
+	table, err := experiments.RunBarrierTable(protos, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	table.Render(os.Stdout)
+}

@@ -1,0 +1,54 @@
+// lockbench regenerates Figures 2 and 3: the locking micro-benchmark
+// runtime sweep from 2 locks (high contention) to 512 locks (low
+// contention), normalized to DirectoryCMP at 512 locks.
+//
+// Usage:
+//
+//	lockbench -mode persistent   # Figure 2 (persistent-requests-only)
+//	lockbench -mode transient    # Figure 3 (transient + persistent)
+//	lockbench -mode both
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tokencmp/internal/experiments"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "both", "persistent (Fig 2), transient (Fig 3), or both")
+		acquires = flag.Int("acquires", 32, "acquires per processor")
+		seeds    = flag.Int("seeds", 3, "perturbed runs per point")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Acquires = *acquires
+	opt.Seeds = *seeds
+	lockCounts := []int{2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+	if *mode == "persistent" || *mode == "both" {
+		sweep, err := experiments.RunLockSweep(
+			[]string{"TokenCMP-arb0", "DirectoryCMP", "DirectoryCMP-zero", "TokenCMP-dst0"},
+			lockCounts, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sweep.Render(os.Stdout, "Figure 2: Locking micro-benchmark, persistent requests only")
+		fmt.Println()
+	}
+	if *mode == "transient" || *mode == "both" {
+		sweep, err := experiments.RunLockSweep(
+			[]string{"DirectoryCMP", "DirectoryCMP-zero", "TokenCMP-dst4", "TokenCMP-dst1", "TokenCMP-dst1-pred"},
+			lockCounts, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sweep.Render(os.Stdout, "Figure 3: Locking micro-benchmark, transient + persistent requests")
+	}
+}

@@ -1,0 +1,110 @@
+// mcsim runs one workload on one protocol of the simulated M-CMP system
+// and prints runtime, traffic, and protocol statistics.
+//
+// Usage:
+//
+//	mcsim -proto TokenCMP-dst1 -workload locking -locks 32 -acquires 64
+//	mcsim -proto DirectoryCMP -workload OLTP
+//	mcsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tokencmp/internal/cpu"
+	"tokencmp/internal/experiments"
+	"tokencmp/internal/machine"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/tokencmp"
+	"tokencmp/internal/topo"
+	"tokencmp/internal/workload"
+)
+
+func main() {
+	var (
+		proto    = flag.String("proto", "TokenCMP-dst1", "protocol (see -list)")
+		wl       = flag.String("workload", "locking", "locking, barrier, OLTP, Apache, or SPECjbb")
+		locks    = flag.Int("locks", 32, "locking: number of locks")
+		acquires = flag.Int("acquires", 64, "locking: acquires per processor")
+		barriers = flag.Int("barriers", 20, "barrier: rounds")
+		jitter   = flag.Int64("jitter", 0, "barrier: work jitter in ns")
+		txns     = flag.Int("txns", 40, "commercial: transactions per processor")
+		cmps     = flag.Int("cmps", 4, "CMP count")
+		procs    = flag.Int("procs", 4, "processors per CMP")
+		banks    = flag.Int("banks", 4, "L2 banks per CMP")
+		seed     = flag.Int64("seed", 1, "perturbation seed")
+		check    = flag.Bool("check", false, "enable coherence monitors")
+		list     = flag.Bool("list", false, "list protocols and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Protocols:")
+		for _, p := range machine.Protocols() {
+			fmt.Printf("  %s\n", p)
+		}
+		fmt.Println("\nTable 1 variants:")
+		for _, v := range tokencmp.Variants() {
+			fmt.Printf("  %-22s transients=%d activation=%v predictor=%v filter=%v\n",
+				v.Name, v.MaxTransients, v.Activation, v.Predictor, v.Filter)
+		}
+		return
+	}
+
+	g := topo.NewGeometry(*cmps, *procs, *banks)
+	m, err := machine.New(machine.Config{
+		Protocol:         *proto,
+		Geom:             g,
+		Seed:             *seed,
+		CheckConsistency: *check,
+		AuditTokens:      *check,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var progs []cpu.Program
+	var mon *workload.LockMonitor
+	switch *wl {
+	case "locking":
+		lc := workload.DefaultLocking(*locks)
+		lc.Acquires = *acquires
+		progs, mon = workload.LockingPrograms(lc, g.TotalProcs(), *seed)
+	case "barrier":
+		bc := workload.DefaultBarrier(g.TotalProcs(), sim.NS(*jitter))
+		bc.Iterations = *barriers
+		progs, mon = workload.BarrierPrograms(bc, *seed)
+	default:
+		params, perr := experiments.CommercialParamsFor(*wl)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(1)
+		}
+		params.TxnsPerProc = *txns
+		progs, mon = workload.CommercialPrograms(params, g.TotalProcs(), *seed)
+	}
+
+	res, err := m.Run(progs, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("protocol:   %s\n", m.Proto.Name())
+	fmt.Printf("workload:   %s\n", *wl)
+	fmt.Printf("runtime:    %v\n", res.Runtime)
+	fmt.Printf("events:     %d\n", res.Events)
+	fmt.Printf("L1 misses:  %d\n", res.Misses)
+	if res.Misses > 0 {
+		fmt.Printf("persistent: %d (%.3f%% of misses)\n", res.Persistent,
+			100*float64(res.Persistent)/float64(res.Misses))
+	}
+	fmt.Printf("acquires:   %d (mutual-exclusion violations: %d)\n", mon.Acquires, len(mon.Violations))
+	for _, lvl := range []stats.Level{stats.IntraCMP, stats.InterCMP} {
+		fmt.Printf("%s traffic: %d bytes in %d messages\n",
+			lvl, res.Traffic.TotalBytes(lvl), res.Traffic.TotalMessages(lvl))
+	}
+}

@@ -1,0 +1,60 @@
+// workloadbench regenerates Figure 6 (commercial workload runtime) and
+// Figures 7a/7b (inter- and intra-CMP traffic by message class) for the
+// OLTP, Apache, and SPECjbb surrogates.
+//
+// Usage:
+//
+//	workloadbench -what runtime   # Figure 6
+//	workloadbench -what inter     # Figure 7a
+//	workloadbench -what intra     # Figure 7b
+//	workloadbench -what all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tokencmp/internal/experiments"
+	"tokencmp/internal/stats"
+)
+
+func main() {
+	var (
+		what  = flag.String("what", "all", "runtime (Fig 6), inter (Fig 7a), intra (Fig 7b), or all")
+		txns  = flag.Int("txns", 30, "transactions per processor")
+		seeds = flag.Int("seeds", 3, "perturbed runs per configuration")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.TxnsPerProc = *txns
+	opt.Seeds = *seeds
+
+	protos := []string{
+		"DirectoryCMP", "DirectoryCMP-zero",
+		"TokenCMP-dst4", "TokenCMP-dst1", "TokenCMP-dst1-pred", "TokenCMP-dst1-filt",
+		"PerfectL2",
+	}
+	res, err := experiments.RunCommercial([]string{"OLTP", "Apache", "SPECjbb"}, protos, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *what == "runtime" || *what == "all" {
+		res.RenderRuntime(os.Stdout)
+		fmt.Println()
+		fmt.Println("Persistent requests as a share of L1 misses (paper: < 0.3%):")
+		for _, wl := range res.Workloads {
+			fmt.Printf("  %-8s TokenCMP-dst1: %.3f%%\n", wl, 100*res.PersistentFraction(wl, "TokenCMP-dst1"))
+		}
+		fmt.Println()
+	}
+	if *what == "inter" || *what == "all" {
+		res.RenderTraffic(os.Stdout, stats.InterCMP)
+		fmt.Println()
+	}
+	if *what == "intra" || *what == "all" {
+		res.RenderTraffic(os.Stdout, stats.IntraCMP)
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a 4-CMP TokenCMP system, run two processors through
+// a produce/consume handoff, and print what the protocol did.
+package main
+
+import (
+	"fmt"
+
+	"tokencmp/internal/cpu"
+	"tokencmp/internal/machine"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/topo"
+)
+
+// handoff is a minimal hand-written Program: the producer stores a value,
+// then the consumer (on another CMP) loads it.
+type handoff struct {
+	producer bool
+	step     int
+	got      uint64
+}
+
+func (h *handoff) Next(now sim.Time, last uint64) cpu.Action {
+	h.step++
+	const addr = 0x1000
+	if h.producer {
+		switch h.step {
+		case 1:
+			return cpu.StoreOf(addr, 42)
+		default:
+			return cpu.Done()
+		}
+	}
+	switch h.step {
+	case 1:
+		return cpu.Think(sim.NS(500)) // let the producer go first
+	case 2:
+		return cpu.LoadOf(addr)
+	default:
+		h.got = last
+		return cpu.Done()
+	}
+}
+
+func main() {
+	// The paper's target system: four 4-way CMPs, four L2 banks each.
+	m, err := machine.New(machine.Config{
+		Protocol:         "TokenCMP-dst1",
+		Geom:             topo.NewGeometry(4, 4, 4),
+		CheckConsistency: true,
+		AuditTokens:      true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	progs := make([]cpu.Program, m.Cfg.Geom.TotalProcs())
+	consumer := &handoff{}
+	progs[0] = &handoff{producer: true} // processor 0, CMP 0
+	progs[12] = consumer                // processor 12, CMP 3
+	for i := range progs {
+		if progs[i] == nil {
+			progs[i] = &handoff{step: 99} // idle: finishes immediately
+		}
+	}
+
+	res, err := m.Run(progs, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("consumer on CMP 3 loaded %d (stored by CMP 0)\n", consumer.got)
+	fmt.Printf("simulated time: %v, events: %d, L1 misses: %d\n",
+		res.Runtime, res.Events, res.Misses)
+	fmt.Printf("inter-CMP bytes: %d, intra-CMP bytes: %d\n",
+		res.Traffic.TotalBytes(1), res.Traffic.TotalBytes(0))
+	fmt.Println("token conservation audit: passed (AuditTokens)")
+}

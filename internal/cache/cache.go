@@ -1,0 +1,191 @@
+// Package cache provides a generic set-associative cache array with
+// true-LRU replacement. Protocol controllers embed their per-line
+// coherence state as the type parameter, so the same array implements
+// MOESI L1s, token-counting L1s, and banked L2s.
+package cache
+
+import (
+	"tokencmp/internal/mem"
+)
+
+// Line couples a block tag with protocol state.
+type Line[S any] struct {
+	Block mem.Block
+	Valid bool
+	State S
+
+	lru uint64
+}
+
+// Array is a set-associative cache with true-LRU replacement.
+type Array[S any] struct {
+	sets, ways int
+	lines      [][]Line[S]
+	tick       uint64
+}
+
+// Params sizes an array.
+type Params struct {
+	SizeBytes int
+	Ways      int
+	BlockSize int
+}
+
+// Sets computes the number of sets implied by the parameters.
+func (p Params) Sets() int {
+	s := p.SizeBytes / (p.Ways * p.BlockSize)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// New builds an array with the given geometry.
+func New[S any](p Params) *Array[S] {
+	sets := p.Sets()
+	a := &Array[S]{sets: sets, ways: p.Ways}
+	a.lines = make([][]Line[S], sets)
+	backing := make([]Line[S], sets*p.Ways)
+	for i := range a.lines {
+		a.lines[i], backing = backing[:p.Ways], backing[p.Ways:]
+	}
+	return a
+}
+
+// Sets reports the number of sets.
+func (a *Array[S]) Sets() int { return a.sets }
+
+// Ways reports the associativity.
+func (a *Array[S]) Ways() int { return a.ways }
+
+func (a *Array[S]) set(b mem.Block) []Line[S] {
+	return a.lines[uint64(b)%uint64(a.sets)]
+}
+
+// Lookup returns the line holding b, or nil. It does not touch LRU state;
+// call Touch on a hit that should refresh recency.
+func (a *Array[S]) Lookup(b mem.Block) *Line[S] {
+	set := a.set(b)
+	for i := range set {
+		if set[i].Valid && set[i].Block == b {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks b most recently used.
+func (a *Array[S]) Touch(b mem.Block) {
+	if l := a.Lookup(b); l != nil {
+		a.tick++
+		l.lru = a.tick
+	}
+}
+
+// Victim returns the line that would be replaced to make room for b: an
+// invalid way if one exists, otherwise the LRU line of b's set. The
+// returned line may hold live state the caller must write back before
+// calling Install.
+func (a *Array[S]) Victim(b mem.Block) *Line[S] {
+	set := a.set(b)
+	var victim *Line[S]
+	for i := range set {
+		if !set[i].Valid {
+			return &set[i]
+		}
+		if victim == nil || set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	return victim
+}
+
+// Install claims a line for b, evicting per Victim. It returns the new
+// line plus, if a live line was displaced, its block and former state so
+// the caller can write it back. The new line's State is the zero value.
+func (a *Array[S]) Install(b mem.Block) (line *Line[S], evicted mem.Block, victimState S, wasEvicted bool) {
+	var zero S
+	if l := a.Lookup(b); l != nil {
+		a.Touch(b)
+		return l, 0, zero, false
+	}
+	v := a.Victim(b)
+	if v.Valid {
+		evicted, victimState, wasEvicted = v.Block, v.State, true
+	}
+	v.Block = b
+	v.Valid = true
+	v.State = zero
+	a.tick++
+	v.lru = a.tick
+	return v, evicted, victimState, wasEvicted
+}
+
+// InstallAvoiding is Install with a victim predicate: lines for which
+// avoid returns true (e.g. lines pinned by an in-flight transaction) are
+// never displaced. It reports ok=false, installing nothing, if every way
+// of b's set is unavailable.
+func (a *Array[S]) InstallAvoiding(b mem.Block, avoid func(st *S) bool) (line *Line[S], evicted mem.Block, victimState S, wasEvicted, ok bool) {
+	var zero S
+	if l := a.Lookup(b); l != nil {
+		a.Touch(b)
+		return l, 0, zero, false, true
+	}
+	set := a.set(b)
+	var victim *Line[S]
+	for i := range set {
+		if !set[i].Valid {
+			victim = &set[i]
+			break
+		}
+		if avoid != nil && avoid(&set[i].State) {
+			continue
+		}
+		if victim == nil || set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	if victim == nil {
+		return nil, 0, zero, false, false
+	}
+	if victim.Valid {
+		evicted, victimState, wasEvicted = victim.Block, victim.State, true
+	}
+	victim.Block = b
+	victim.Valid = true
+	victim.State = zero
+	a.tick++
+	victim.lru = a.tick
+	return victim, evicted, victimState, wasEvicted, true
+}
+
+// Invalidate drops b if present, returning its former state.
+func (a *Array[S]) Invalidate(b mem.Block) (S, bool) {
+	var zero S
+	if l := a.Lookup(b); l != nil {
+		st := l.State
+		l.Valid = false
+		l.State = zero
+		return st, true
+	}
+	return zero, false
+}
+
+// ForEach visits every valid line.
+func (a *Array[S]) ForEach(fn func(b mem.Block, s *S)) {
+	for si := range a.lines {
+		for wi := range a.lines[si] {
+			l := &a.lines[si][wi]
+			if l.Valid {
+				fn(l.Block, &l.State)
+			}
+		}
+	}
+}
+
+// Count reports the number of valid lines.
+func (a *Array[S]) Count() int {
+	n := 0
+	a.ForEach(func(mem.Block, *S) { n++ })
+	return n
+}

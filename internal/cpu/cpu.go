@@ -1,0 +1,163 @@
+// Package cpu models the processors that drive the memory system.
+//
+// The paper simulates dynamically-scheduled SPARC cores under Simics; for
+// protocol studies what matters is the memory reference stream, so each
+// Processor here executes an explicit Program — a state machine yielding
+// think intervals, loads, stores, atomic swaps, and instruction fetches —
+// against the simulated hierarchy, blocking on each memory operation.
+// Spin loops and lock acquires are therefore real coherence traffic.
+package cpu
+
+import (
+	"tokencmp/internal/mem"
+	"tokencmp/internal/sim"
+)
+
+// AccessKind is a memory operation type.
+type AccessKind int
+
+// Memory operation kinds.
+const (
+	Load AccessKind = iota
+	Store
+	Atomic // atomic swap: write, returning the previous value
+	IFetch // instruction fetch (routed to the L1I)
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case Load:
+		return "Load"
+	case Store:
+		return "Store"
+	case Atomic:
+		return "Atomic"
+	case IFetch:
+		return "IFetch"
+	}
+	return "Access?"
+}
+
+// MemPort is the interface the L1 controllers expose to their processor.
+// done is invoked when the operation completes; value is the loaded (or,
+// for Atomic, the previous) block value.
+type MemPort interface {
+	Access(kind AccessKind, addr mem.Addr, store uint64, done func(value uint64))
+}
+
+// ActionKind tells the processor what to do next.
+type ActionKind int
+
+// Program actions.
+const (
+	ActThink ActionKind = iota
+	ActLoad
+	ActStore
+	ActAtomic
+	ActIFetch
+	ActDone
+)
+
+// Action is one step of a Program.
+type Action struct {
+	Kind  ActionKind
+	Addr  mem.Addr
+	Value uint64   // store / swap value
+	Dur   sim.Time // think duration
+}
+
+// Think builds a think action.
+func Think(d sim.Time) Action { return Action{Kind: ActThink, Dur: d} }
+
+// LoadOf builds a load action.
+func LoadOf(a mem.Addr) Action { return Action{Kind: ActLoad, Addr: a} }
+
+// StoreOf builds a store action.
+func StoreOf(a mem.Addr, v uint64) Action { return Action{Kind: ActStore, Addr: a, Value: v} }
+
+// Swap builds an atomic-swap action.
+func Swap(a mem.Addr, v uint64) Action { return Action{Kind: ActAtomic, Addr: a, Value: v} }
+
+// Fetch builds an instruction-fetch action.
+func Fetch(a mem.Addr) Action { return Action{Kind: ActIFetch, Addr: a} }
+
+// Done terminates a program.
+func Done() Action { return Action{Kind: ActDone} }
+
+// Program drives a processor. Next is called when the previous action
+// completes; lastValue is the result of the previous load/atomic (zero
+// otherwise).
+type Program interface {
+	Next(now sim.Time, lastValue uint64) Action
+}
+
+// Stats collected per processor.
+type Stats struct {
+	Loads, Stores, Atomics, IFetches uint64
+	Thinks                           uint64
+	MemLatency                       sim.Time // summed memory-op latency
+	MemOps                           uint64
+}
+
+// Processor executes a Program against data and instruction ports.
+type Processor struct {
+	ID    int // global processor index
+	Eng   *sim.Engine
+	Data  MemPort
+	Inst  MemPort
+	Prog  Program
+	Stats Stats
+
+	finished bool
+	doneAt   sim.Time
+	lastVal  uint64
+}
+
+// Start begins executing the program.
+func (p *Processor) Start() {
+	p.Eng.Schedule(0, p.step)
+}
+
+// Finished reports whether the program has completed.
+func (p *Processor) Finished() bool { return p.finished }
+
+// FinishTime reports when the program completed (valid once Finished).
+func (p *Processor) FinishTime() sim.Time { return p.doneAt }
+
+func (p *Processor) step() {
+	if p.finished {
+		return
+	}
+	act := p.Prog.Next(p.Eng.Now(), p.lastVal)
+	p.lastVal = 0
+	switch act.Kind {
+	case ActThink:
+		p.Stats.Thinks++
+		p.Eng.Schedule(act.Dur, p.step)
+	case ActLoad:
+		p.Stats.Loads++
+		p.access(p.Data, Load, act)
+	case ActStore:
+		p.Stats.Stores++
+		p.access(p.Data, Store, act)
+	case ActAtomic:
+		p.Stats.Atomics++
+		p.access(p.Data, Atomic, act)
+	case ActIFetch:
+		p.Stats.IFetches++
+		p.access(p.Inst, IFetch, act)
+	case ActDone:
+		p.finished = true
+		p.doneAt = p.Eng.Now()
+	}
+}
+
+func (p *Processor) access(port MemPort, kind AccessKind, act Action) {
+	start := p.Eng.Now()
+	port.Access(kind, act.Addr, act.Value, func(v uint64) {
+		p.Stats.MemOps++
+		p.Stats.MemLatency += p.Eng.Now() - start
+		p.lastVal = v
+		p.step()
+	})
+}

@@ -1,0 +1,62 @@
+package directory
+
+import (
+	"tokencmp/internal/sim"
+	"tokencmp/internal/topo"
+)
+
+// Config holds DirectoryCMP's structural and timing parameters.
+type Config struct {
+	Geom topo.Geometry
+
+	L1Latency   sim.Time
+	L2Latency   sim.Time
+	MemLatency  sim.Time // memory controller decision latency
+	DRAMLatency sim.Time // DRAM array access for data
+	// DirLatency is the inter-CMP directory access time: DRAMLatency for
+	// the realistic DRAM directory, 0 for DirectoryCMP-zero.
+	DirLatency sim.Time
+
+	// ResponseDelay is the bounded permission hold after a store (the
+	// paper applies the delay mechanism to all protocols).
+	ResponseDelay sim.Time
+
+	L1Size, L1Ways     int
+	L2BankSize, L2Ways int
+
+	// ZeroDir names the DirectoryCMP-zero variant in stats output.
+	ZeroDir bool
+}
+
+// DefaultConfig returns the Table 3 parameters with a DRAM directory.
+func DefaultConfig(g topo.Geometry) Config {
+	return Config{
+		Geom:          g,
+		L1Latency:     sim.NS(2),
+		L2Latency:     sim.NS(7),
+		MemLatency:    sim.NS(6),
+		DRAMLatency:   sim.NS(80),
+		DirLatency:    sim.NS(80),
+		ResponseDelay: sim.NS(30),
+		L1Size:        128 << 10,
+		L1Ways:        4,
+		L2BankSize:    (8 << 20) / 4,
+		L2Ways:        4,
+	}
+}
+
+// ZeroDirConfig returns the unrealistic zero-cycle-directory variant.
+func ZeroDirConfig(g topo.Geometry) Config {
+	cfg := DefaultConfig(g)
+	cfg.DirLatency = 0
+	cfg.ZeroDir = true
+	return cfg
+}
+
+// Name reports the protocol name for reports.
+func (c Config) Name() string {
+	if c.ZeroDir {
+		return "DirectoryCMP-zero"
+	}
+	return "DirectoryCMP"
+}

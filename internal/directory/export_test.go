@@ -1,0 +1,46 @@
+package directory
+
+import (
+	"fmt"
+
+	"tokencmp/internal/mem"
+)
+
+// dumpBlock prints all protocol state for b, for test debugging.
+func (s *System) dumpBlock(b mem.Block) string {
+	out := ""
+	for c := range s.Homes {
+		h := s.Homes[c]
+		if hl, ok := h.dir[b]; ok {
+			out += fmt.Sprintf("home%d: owner=%d sharers=%b val=%d busy=%v queue=%d\n",
+				c, hl.owner, hl.sharers, hl.value, h.busy[b] != nil, len(h.queue[b]))
+		}
+	}
+	for c := range s.L2s {
+		for bk := range s.L2s[c] {
+			l2 := s.L2s[c][bk]
+			if l := l2.lookup(b); l != nil {
+				out += fmt.Sprintf("L2[%d][%d]: cs=%v hasData=%v data=%d dirty=%v owner=%v sharers=%b pinned=%v busy=%v ext=%v queue=%d\n",
+					c, bk, l.cs, l.hasData, l.data, l.dirty, l.ownerL1, l.sharers, l.pinned,
+					l2.busy[b] != nil, l2.ext[b] != nil, len(l2.queue[b]))
+			}
+			if w := l2.wb[b]; w != nil {
+				out += fmt.Sprintf("L2[%d][%d]: wb valid=%v data=%d\n", c, bk, w.valid, w.data)
+			}
+		}
+	}
+	for c := range s.L1Ds {
+		for p := range s.L1Ds[c] {
+			for _, l1 := range []*L1Ctrl{s.L1Ds[c][p], s.L1Is[c][p]} {
+				if l := l1.cache.Lookup(b); l != nil {
+					out += fmt.Sprintf("L1[%v]: st=%d data=%d dirty=%v pinned=%v\n",
+						l1.id, l.State.st, l.State.data, l.State.dirty, l.State.pinned)
+				}
+				if w := l1.wb[b]; w != nil {
+					out += fmt.Sprintf("L1[%v]: wb valid=%v data=%d\n", l1.id, w.valid, w.data)
+				}
+			}
+		}
+	}
+	return out
+}

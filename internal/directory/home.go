@@ -1,0 +1,334 @@
+package directory
+
+import (
+	"fmt"
+
+	"tokencmp/internal/mem"
+	"tokencmp/internal/network"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/topo"
+)
+
+// homeLine is one inter-CMP directory entry plus the memory image.
+type homeLine struct {
+	owner   int    // owning CMP, or -1 when memory owns the block
+	sharers uint64 // CMP bitmask (excluding the owner)
+	value   uint64 // backing memory value
+}
+
+// homeTxn is one blocking transaction at the home directory.
+type homeTxn struct {
+	req      *network.Message
+	kind     int
+	oldOwner int
+}
+
+// HomeStats counts home-directory events.
+type HomeStats struct {
+	GetS, GetM uint64
+	Fwds       uint64
+	Invs       uint64
+	Puts       uint64
+	MemReads   uint64
+	MemWrites  uint64
+}
+
+// HomeCtrl is a memory controller running the inter-CMP directory: it
+// tracks which CMPs cache each of its home blocks (but not which caches
+// within a CMP — that is the L2 banks' job), defers conflicting requests
+// with per-block busy states, and closes transactions on unblock
+// messages.
+type HomeCtrl struct {
+	id  topo.NodeID
+	sys *System
+	cmp int
+
+	dir   map[mem.Block]*homeLine
+	busy  map[mem.Block]*homeTxn
+	queue map[mem.Block][]*network.Message
+
+	Stats HomeStats
+}
+
+func newHome(sys *System, id topo.NodeID, cmp int) *HomeCtrl {
+	return &HomeCtrl{
+		id:    id,
+		sys:   sys,
+		cmp:   cmp,
+		dir:   make(map[mem.Block]*homeLine),
+		busy:  make(map[mem.Block]*homeTxn),
+		queue: make(map[mem.Block][]*network.Message),
+	}
+}
+
+// dataDelay is the DRAM data-fetch time not hidden under the directory
+// lookup.
+func (c *HomeCtrl) dataDelay() sim.Time {
+	d := c.sys.Cfg.DRAMLatency - c.sys.Cfg.DirLatency
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+func (c *HomeCtrl) lineFor(b mem.Block) *homeLine {
+	l := c.dir[b]
+	if l == nil {
+		l = &homeLine{owner: -1}
+		c.dir[b] = l
+	}
+	return l
+}
+
+// DirValue exposes the memory image for audits.
+func (c *HomeCtrl) DirValue(b mem.Block) (uint64, bool) {
+	l, ok := c.dir[b]
+	if !ok {
+		return 0, false
+	}
+	return l.value, true
+}
+
+// Recv implements network.Endpoint. Every directory access pays the
+// controller latency plus the directory lookup (80 ns for the DRAM
+// directory, 0 for DirectoryCMP-zero).
+func (c *HomeCtrl) Recv(m *network.Message) {
+	d := c.sys.Cfg.MemLatency + c.sys.Cfg.DirLatency
+	c.sys.Eng.Schedule(d, func() { c.handle(m) })
+}
+
+func (c *HomeCtrl) handle(m *network.Message) {
+	switch m.Kind {
+	case kGetS, kGetM, kPut:
+		c.admit(m)
+	case kUnblock:
+		c.handleUnblock(m)
+	case kWbData, kWbCancel:
+		c.handleWbData(m)
+	default:
+		panic(fmt.Sprintf("directory: home %v cannot handle %s", c.id, kindName(m.Kind)))
+	}
+}
+
+func (c *HomeCtrl) admit(m *network.Message) {
+	b := m.Block
+	if c.busy[b] != nil {
+		c.queue[b] = append(c.queue[b], m)
+		return
+	}
+	switch m.Kind {
+	case kGetS:
+		c.startGetS(m)
+	case kGetM:
+		c.startGetM(m)
+	case kPut:
+		c.startPut(m)
+	}
+}
+
+// cmpOf maps a requesting L2 node to its CMP index.
+func (c *HomeCtrl) cmpOf(id topo.NodeID) int { return c.sys.Geom.CMPOf(id) }
+
+func (c *HomeCtrl) startGetS(m *network.Message) {
+	c.Stats.GetS++
+	b := m.Block
+	hl := c.lineFor(b)
+	c.busy[b] = &homeTxn{req: m, kind: kGetS, oldOwner: hl.owner}
+
+	if hl.owner == -1 {
+		// Memory owns the block: read DRAM and grant (E when unshared).
+		// The data fetch overlaps the directory lookup already paid in
+		// Recv, so only the excess DRAM time is serialized.
+		gst := grantS
+		if hl.sharers == 0 {
+			gst = grantE
+		}
+		c.Stats.MemReads++
+		c.sys.Eng.Schedule(c.dataDelay(), func() {
+			c.sys.Net.Send(&network.Message{
+				Src:       c.id,
+				Dst:       m.Requestor,
+				Block:     b,
+				Kind:      kData,
+				Class:     stats.ResponseData,
+				HasData:   true,
+				Data:      hl.value,
+				Aux:       packAux(gst, 0, false),
+				Requestor: m.Requestor,
+			})
+		})
+		return
+	}
+	// A CMP owns the block: forward (possibly to the requester's own
+	// chip, whose L2 serves it from its writeback buffer in PUT races).
+	c.Stats.Fwds++
+	owner := c.sys.Geom.L2BankFor(hl.owner, b)
+	c.sys.Net.Send(&network.Message{
+		Src:       c.id,
+		Dst:       owner,
+		Block:     b,
+		Kind:      kFwdGetS,
+		Class:     stats.InvFwdAckTokens,
+		Requestor: m.Requestor,
+	})
+}
+
+func (c *HomeCtrl) startGetM(m *network.Message) {
+	c.Stats.GetM++
+	b := m.Block
+	hl := c.lineFor(b)
+	reqCMP := c.cmpOf(m.Requestor)
+	c.busy[b] = &homeTxn{req: m, kind: kGetM, oldOwner: hl.owner}
+
+	// Invalidate every sharer chip except the requester.
+	acks := 0
+	mask := hl.sharers &^ (1 << uint(reqCMP))
+	if hl.owner >= 0 && hl.owner != reqCMP {
+		mask &^= 1 << uint(hl.owner)
+	}
+	for cmp := 0; mask != 0; cmp++ {
+		if mask&(1<<uint(cmp)) == 0 {
+			continue
+		}
+		mask &^= 1 << uint(cmp)
+		acks++
+		c.Stats.Invs++
+		c.sys.Net.Send(&network.Message{
+			Src:       c.id,
+			Dst:       c.sys.Geom.L2BankFor(cmp, b),
+			Block:     b,
+			Kind:      kInv,
+			Class:     stats.InvFwdAckTokens,
+			Requestor: m.Requestor,
+		})
+	}
+
+	switch {
+	case hl.owner == -1:
+		// Memory data (possibly redundant if the requester was a sharer,
+		// but always current); the fetch overlaps the directory lookup.
+		c.Stats.MemReads++
+		c.sys.Eng.Schedule(c.dataDelay(), func() {
+			c.sys.Net.Send(&network.Message{
+				Src:       c.id,
+				Dst:       m.Requestor,
+				Block:     b,
+				Kind:      kData,
+				Class:     stats.ResponseData,
+				HasData:   true,
+				Data:      hl.value,
+				Aux:       packAux(grantM, acks, false),
+				Requestor: m.Requestor,
+			})
+		})
+	case hl.owner == reqCMP:
+		// Ownership upgrade: the requester chip already holds the data.
+		c.sys.Net.Send(&network.Message{
+			Src:       c.id,
+			Dst:       m.Requestor,
+			Block:     b,
+			Kind:      kGrant,
+			Class:     stats.InvFwdAckTokens,
+			Aux:       packAux(grantM, acks, false),
+			Requestor: m.Requestor,
+		})
+	default:
+		// Forward to the owner chip, which sends data to the requester.
+		c.Stats.Fwds++
+		c.sys.Net.Send(&network.Message{
+			Src:       c.id,
+			Dst:       c.sys.Geom.L2BankFor(hl.owner, b),
+			Block:     b,
+			Kind:      kFwdGetM,
+			Class:     stats.InvFwdAckTokens,
+			Aux:       packAux(grantM, acks, false),
+			Requestor: m.Requestor,
+		})
+	}
+}
+
+func (c *HomeCtrl) startPut(m *network.Message) {
+	c.Stats.Puts++
+	b := m.Block
+	c.busy[b] = &homeTxn{req: m, kind: kPut}
+	c.sys.Net.Send(&network.Message{
+		Src:   c.id,
+		Dst:   m.Src,
+		Block: b,
+		Kind:  kWbGrant,
+		Class: stats.WritebackControl,
+	})
+}
+
+// handleUnblock closes a GetS/GetM transaction, applying the requester's
+// reported result state to the directory.
+func (c *HomeCtrl) handleUnblock(m *network.Message) {
+	b := m.Block
+	txn := c.busy[b]
+	if txn == nil {
+		panic(fmt.Sprintf("directory: home %v unblock without transaction for %v", c.id, b))
+	}
+	hl := c.lineFor(b)
+	reqCMP := c.cmpOf(m.Src)
+	result, _, _ := unpackAux(m.Aux)
+	switch result {
+	case grantS:
+		hl.sharers |= 1 << uint(reqCMP)
+	default: // E or M: the requester chip is now the exclusive owner.
+		hl.owner = reqCMP
+		hl.sharers = 0
+	}
+	delete(c.busy, b)
+	c.drain(b)
+}
+
+// handleWbData completes a chip's three-phase writeback.
+func (c *HomeCtrl) handleWbData(m *network.Message) {
+	b := m.Block
+	txn := c.busy[b]
+	if txn == nil || txn.kind != kPut {
+		panic(fmt.Sprintf("directory: home %v %s without PUT for %v", c.id, kindName(m.Kind), b))
+	}
+	delete(c.busy, b)
+	hl := c.lineFor(b)
+	evictor := c.cmpOf(m.Src)
+	if m.Kind == kWbData {
+		c.Stats.MemWrites++
+		hl.value = m.Data
+		if hl.owner == evictor {
+			hl.owner = -1
+		}
+		hl.sharers &^= 1 << uint(evictor)
+	} else {
+		// Cancelled PUT: the copy was consumed by a racing transaction
+		// whose unblock already updated the directory, so the evictor can
+		// no longer be the registered owner.
+		if hl.owner == evictor {
+			panic(fmt.Sprintf("directory: home %v WbCancel from registered owner for %v", c.id, b))
+		}
+		hl.sharers &^= 1 << uint(evictor)
+	}
+	c.drain(b)
+}
+
+func (c *HomeCtrl) drain(b mem.Block) {
+	if c.busy[b] != nil {
+		return
+	}
+	q := c.queue[b]
+	if len(q) == 0 {
+		delete(c.queue, b)
+		return
+	}
+	m := q[0]
+	if len(q) == 1 {
+		delete(c.queue, b)
+	} else {
+		c.queue[b] = q[1:]
+	}
+	// Re-admit without paying the directory latency twice is wrong: a
+	// deferred request still performs a directory access when it wakes.
+	d := sim.Time(0)
+	c.sys.Eng.Schedule(d, func() { c.admit(m) })
+}

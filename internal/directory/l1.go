@@ -1,0 +1,405 @@
+package directory
+
+import (
+	"fmt"
+
+	"tokencmp/internal/cache"
+	"tokencmp/internal/cpu"
+	"tokencmp/internal/mem"
+	"tokencmp/internal/network"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/topo"
+)
+
+// l1State is the MOESI-ish stable state of an L1 line. Intra-CMP
+// ownership lives either at one L1 (E or M) or at the L2 bank, so L1
+// lines need only I (invalid, implicit), S, E, and M.
+type l1State int
+
+const (
+	l1S l1State = iota
+	l1E
+	l1M
+)
+
+// l1Line is an L1 cache line.
+type l1Line struct {
+	st        l1State
+	data      uint64
+	dirty     bool
+	pinned    bool     // line reserved by the outstanding transaction
+	holdUntil sim.Time // response-delay mechanism
+}
+
+// l1Txn is the single outstanding miss transaction.
+type l1Txn struct {
+	kind  cpu.AccessKind
+	store uint64
+	done  func(uint64)
+}
+
+// wbEntry buffers a three-phase writeback awaiting its grant.
+type wbEntry struct {
+	data  uint64
+	dirty bool
+	valid bool // cleared if a forward/invalidate consumed the line
+}
+
+// L1Stats counts per-L1 events.
+type L1Stats struct {
+	Hits, Misses uint64
+	Writebacks   uint64
+	Invalidations uint64
+	FwdsServed   uint64
+	Migratory    uint64
+}
+
+// L1Ctrl is a DirectoryCMP L1 cache controller.
+type L1Ctrl struct {
+	id        topo.NodeID
+	sys       *System
+	isInstr   bool
+	cmp, proc int
+
+	cache *cache.Array[l1Line]
+	txns  map[mem.Block]*l1Txn
+	wb    map[mem.Block]*wbEntry
+
+	Stats L1Stats
+}
+
+func newL1(sys *System, id topo.NodeID, cmp, proc int, instr bool) *L1Ctrl {
+	cfg := sys.Cfg
+	return &L1Ctrl{
+		id:      id,
+		sys:     sys,
+		isInstr: instr,
+		cmp:     cmp,
+		proc:    proc,
+		cache:   cache.New[l1Line](cache.Params{SizeBytes: cfg.L1Size, Ways: cfg.L1Ways, BlockSize: mem.BlockSize}),
+		txns:    make(map[mem.Block]*l1Txn),
+		wb:      make(map[mem.Block]*wbEntry),
+	}
+}
+
+func (c *L1Ctrl) bank(b mem.Block) topo.NodeID {
+	return c.sys.Geom.L2BankFor(c.cmp, b)
+}
+
+// Access implements cpu.MemPort.
+func (c *L1Ctrl) Access(kind cpu.AccessKind, addr mem.Addr, store uint64, done func(uint64)) {
+	if c.isInstr && kind != cpu.IFetch {
+		panic("directory: data access routed to L1I")
+	}
+	b := mem.BlockOf(addr)
+	if _, busy := c.txns[b]; busy {
+		panic(fmt.Sprintf("directory: L1 %v already busy on %v", c.id, b))
+	}
+	c.sys.Eng.Schedule(c.sys.Cfg.L1Latency, func() { c.attempt(kind, b, store, done) })
+}
+
+func (c *L1Ctrl) attempt(kind cpu.AccessKind, b mem.Block, store uint64, done func(uint64)) {
+	if l := c.cache.Lookup(b); l != nil {
+		s := &l.State
+		switch kind {
+		case cpu.Load, cpu.IFetch:
+			c.Stats.Hits++
+			c.cache.Touch(b)
+			done(s.data)
+			return
+		default: // Store, Atomic
+			if s.st == l1M || s.st == l1E {
+				c.Stats.Hits++
+				c.cache.Touch(b)
+				s.st = l1M // silent E→M upgrade
+				old := s.data
+				s.data = store
+				s.dirty = true
+				s.holdUntil = c.sys.Eng.Now() + c.sys.Cfg.ResponseDelay
+				if kind == cpu.Atomic {
+					done(old)
+				} else {
+					done(0)
+				}
+				return
+			}
+		}
+	}
+	// Miss (or S-upgrade). Reserve the line now so the victim's writeback
+	// overlaps the request.
+	c.Stats.Misses++
+	line, ok := c.reserve(b)
+	if !ok {
+		// All ways pinned (cannot happen with one outstanding txn, but be
+		// safe): retry shortly.
+		c.sys.Eng.Schedule(c.sys.Cfg.L1Latency, func() { c.attempt(kind, b, store, done) })
+		return
+	}
+	line.pinned = true
+	c.txns[b] = &l1Txn{kind: kind, store: store, done: done}
+	req := kGetS
+	if kind == cpu.Store || kind == cpu.Atomic {
+		req = kGetM
+	}
+	c.sys.Net.Send(&network.Message{
+		Src:       c.id,
+		Dst:       c.bank(b),
+		Block:     b,
+		Kind:      req,
+		Class:     stats.Request,
+		Requestor: c.id,
+	})
+}
+
+// reserve installs a placeholder line for b, writing back any displaced
+// owner line. It preserves existing state if b is already resident (an
+// S-line upgrading to M keeps its data).
+func (c *L1Ctrl) reserve(b mem.Block) (*l1Line, bool) {
+	if l := c.cache.Lookup(b); l != nil {
+		return &l.State, true
+	}
+	line, victim, vstate, wasEvicted, ok := c.cache.InstallAvoiding(b, func(st *l1Line) bool { return st.pinned })
+	if !ok {
+		return nil, false
+	}
+	if wasEvicted {
+		c.evict(victim, vstate)
+	}
+	return &line.State, true
+}
+
+// evict handles a displaced line: E and M lines start a three-phase
+// writeback; S lines are dropped silently (the directory's sharer bit
+// goes stale, which is benign).
+func (c *L1Ctrl) evict(b mem.Block, st l1Line) {
+	if st.st == l1S {
+		return
+	}
+	c.Stats.Writebacks++
+	c.wb[b] = &wbEntry{data: st.data, dirty: st.dirty, valid: true}
+	c.sys.Net.Send(&network.Message{
+		Src:   c.id,
+		Dst:   c.bank(b),
+		Block: b,
+		Kind:  kPut,
+		Class: stats.WritebackControl,
+	})
+}
+
+// Recv implements network.Endpoint.
+func (c *L1Ctrl) Recv(m *network.Message) {
+	c.sys.Eng.Schedule(c.sys.Cfg.L1Latency, func() { c.handle(m) })
+}
+
+func (c *L1Ctrl) handle(m *network.Message) {
+	switch m.Kind {
+	case kData, kGrant:
+		c.handleGrant(m)
+	case kFwdGetS:
+		c.handleFwdGetS(m)
+	case kFwdGetM:
+		c.handleFwdGetM(m)
+	case kInv:
+		c.handleInv(m)
+	case kWbGrant:
+		c.handleWbGrant(m)
+	default:
+		panic(fmt.Sprintf("directory: L1 %v cannot handle %s", c.id, kindName(m.Kind)))
+	}
+}
+
+func (c *L1Ctrl) handleGrant(m *network.Message) {
+	b := m.Block
+	txn := c.txns[b]
+	if txn == nil {
+		panic(fmt.Sprintf("directory: L1 %v got grant for %v with no transaction", c.id, b))
+	}
+	delete(c.txns, b)
+	l := c.cache.Lookup(b)
+	if l == nil {
+		panic(fmt.Sprintf("directory: L1 %v grant for unreserved line %v", c.id, b))
+	}
+	s := &l.State
+	s.pinned = false
+	gst, _, _ := unpackAux(m.Aux)
+	if m.HasData {
+		s.data = m.Data
+		s.dirty = m.Dirty
+	}
+	switch gst {
+	case grantS:
+		s.st = l1S
+	case grantE:
+		s.st = l1E
+	case grantM:
+		s.st = l1M
+	}
+	c.cache.Touch(b)
+
+	var val uint64
+	switch txn.kind {
+	case cpu.Load, cpu.IFetch:
+		val = s.data
+	case cpu.Store:
+		s.data = txn.store
+		s.dirty = true
+		s.holdUntil = c.sys.Eng.Now() + c.sys.Cfg.ResponseDelay
+	case cpu.Atomic:
+		val = s.data
+		s.data = txn.store
+		s.dirty = true
+		s.holdUntil = c.sys.Eng.Now() + c.sys.Cfg.ResponseDelay
+	}
+	// Close the intra-CMP directory transaction.
+	c.sys.Net.Send(&network.Message{
+		Src:   c.id,
+		Dst:   c.bank(b),
+		Block: b,
+		Kind:  kUnblock,
+		Class: stats.Unblock,
+	})
+	txn.done(val)
+}
+
+// stateOf finds the line in the cache or the writeback buffer.
+func (c *L1Ctrl) stateOf(b mem.Block) (data uint64, dirty bool, inWb bool, l *l1Line) {
+	if l := c.cache.Lookup(b); l != nil {
+		return l.State.data, l.State.dirty, false, &l.State
+	}
+	if w := c.wb[b]; w != nil && w.valid {
+		return w.data, w.dirty, true, nil
+	}
+	return 0, false, false, nil
+}
+
+// handleFwdGetS serves a read forward from the intra-CMP directory. The
+// response routes through the L2 bank (the paper's hierarchical
+// artifact). A modified line triggers the migratory optimization:
+// invalidate and pass ownership.
+func (c *L1Ctrl) handleFwdGetS(m *network.Message) {
+	b := m.Block
+	data, dirty, inWb, l := c.stateOf(b)
+	if l != nil && l.holdUntil > c.sys.Eng.Now() {
+		at := l.holdUntil
+		c.sys.Eng.ScheduleAt(at, func() { c.handleFwdGetS(m) })
+		return
+	}
+	c.Stats.FwdsServed++
+	migratory := false
+	switch {
+	case l != nil && l.st == l1M && l.dirty:
+		// Migratory sharing: invalidate our copy, pass read/write access.
+		migratory = true
+		c.Stats.Migratory++
+		c.cache.Invalidate(b)
+	case l != nil:
+		l.st = l1S // degrade; L2 becomes the on-chip owner of the data
+	case inWb:
+		// Data lives in the writeback buffer; serve from there (the PUT
+		// will be cancelled when its grant arrives if the line is gone —
+		// here the copy survives as far as we know, keep it valid).
+	default:
+		panic(fmt.Sprintf("directory: L1 %v FwdGetS for absent %v", c.id, b))
+	}
+	c.sys.Net.Send(&network.Message{
+		Src:     c.id,
+		Dst:     m.Src, // the L2 bank
+		Block:   b,
+		Kind:    kFwdResp,
+		Class:   stats.ResponseData,
+		HasData: true,
+		Data:    data,
+		Dirty:   dirty,
+		Aux:     packAux(grantS, 0, migratory),
+		Proc:    m.Proc,
+	})
+}
+
+// handleFwdGetM serves a write forward: send data to the L2 bank and
+// invalidate.
+func (c *L1Ctrl) handleFwdGetM(m *network.Message) {
+	b := m.Block
+	data, dirty, inWb, l := c.stateOf(b)
+	if l != nil && l.holdUntil > c.sys.Eng.Now() {
+		at := l.holdUntil
+		c.sys.Eng.ScheduleAt(at, func() { c.handleFwdGetM(m) })
+		return
+	}
+	c.Stats.FwdsServed++
+	switch {
+	case l != nil:
+		c.cache.Invalidate(b)
+	case inWb:
+		c.wb[b].valid = false // consumed; PUT will be cancelled
+	default:
+		panic(fmt.Sprintf("directory: L1 %v FwdGetM for absent %v", c.id, b))
+	}
+	c.sys.Net.Send(&network.Message{
+		Src:     c.id,
+		Dst:     m.Src,
+		Block:   b,
+		Kind:    kFwdResp,
+		Class:   stats.ResponseData,
+		HasData: true,
+		Data:    data,
+		Dirty:   dirty,
+		Aux:     packAux(grantM, 0, false),
+		Proc:    m.Proc,
+	})
+}
+
+// handleInv invalidates a (possibly stale) sharer entry and acks to the
+// collector named in Requestor.
+func (c *L1Ctrl) handleInv(m *network.Message) {
+	b := m.Block
+	if l := c.cache.Lookup(b); l != nil && !l.State.pinned {
+		if l.State.holdUntil > c.sys.Eng.Now() {
+			at := l.State.holdUntil
+			c.sys.Eng.ScheduleAt(at, func() { c.handleInv(m) })
+			return
+		}
+		c.cache.Invalidate(b)
+	} else if w := c.wb[b]; w != nil {
+		w.valid = false
+	}
+	c.Stats.Invalidations++
+	c.sys.Net.Send(&network.Message{
+		Src:   c.id,
+		Dst:   m.Requestor,
+		Block: b,
+		Kind:  kInvAck,
+		Class: stats.InvFwdAckTokens,
+		Proc:  m.Proc,
+	})
+}
+
+// handleWbGrant completes (or cancels) a three-phase writeback.
+func (c *L1Ctrl) handleWbGrant(m *network.Message) {
+	b := m.Block
+	w := c.wb[b]
+	if w == nil {
+		panic(fmt.Sprintf("directory: L1 %v WbGrant without PUT for %v", c.id, b))
+	}
+	delete(c.wb, b)
+	if !w.valid {
+		c.sys.Net.Send(&network.Message{
+			Src:   c.id,
+			Dst:   m.Src,
+			Block: b,
+			Kind:  kWbCancel,
+			Class: stats.WritebackControl,
+		})
+		return
+	}
+	c.sys.Net.Send(&network.Message{
+		Src:     c.id,
+		Dst:     m.Src,
+		Block:   b,
+		Kind:    kWbData,
+		Class:   stats.WritebackData,
+		HasData: true,
+		Data:    w.data,
+		Dirty:   w.dirty,
+	})
+}

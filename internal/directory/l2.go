@@ -1,0 +1,997 @@
+package directory
+
+import (
+	"fmt"
+
+	"tokencmp/internal/cache"
+	"tokencmp/internal/mem"
+	"tokencmp/internal/network"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/topo"
+)
+
+// Service tags (carried in Message.Proc) distinguish the collector of
+// invalidation acks and forward responses when a local transaction, a
+// home-initiated external service, and an eviction recall could overlap
+// on the same block.
+const (
+	tagTxn   = iota // local L1 transaction at this bank
+	tagExt          // home-initiated forward/invalidate service
+	tagEvict        // L2 eviction recall
+	tagInter        // chip-to-chip invalidation ack (to the requesting L2)
+)
+
+// chipState is the CMP's collective permission for a block, tracked in
+// the L2 line alongside the intra-CMP directory (local owner + sharers).
+type chipState int
+
+const (
+	csI chipState = iota
+	csS
+	csE
+	csM
+	csO
+)
+
+func (s chipState) String() string { return [...]string{"I", "S", "E", "M", "O"}[s] }
+
+// l2Line is an L2 bank line with the intra-CMP directory entry.
+type l2Line struct {
+	cs      chipState
+	hasData bool
+	data    uint64
+	dirty   bool
+	ownerL1 topo.NodeID // local L1 holding E/M, or topo.None (L2 holds the data)
+	sharers uint64      // local L1 sharer bits (excluding ownerL1)
+	pinned  bool        // part of an in-flight transaction; not evictable
+}
+
+// l2Txn is one local transaction (GetS/GetM from a local L1).
+type l2Txn struct {
+	req  *network.Message
+	kind int
+
+	fwdPending   bool
+	interPending bool
+	localAcks    int
+
+	// Inter-CMP grant payload, held until all chip acks arrive.
+	interGot      bool
+	interState    grantState
+	interMigr     bool
+	interHasData  bool
+	interData     uint64
+	interDirty    bool
+	interAcksNeed int
+	interAcksGot  int
+
+	// Local grant decision inputs.
+	migr bool
+}
+
+// extSrv is a home-initiated service (forward or invalidate) or an
+// eviction recall, which runs concurrently with inter-pending local
+// transactions but serializes with purely-local ones.
+type extSrv struct {
+	kind    int // kFwdGetS, kFwdGetM, kInv, or -1 for eviction recall
+	replyTo topo.NodeID
+	acks    int // local invalidation acks outstanding
+	fwdWait bool
+	acksFor int // inter ack count to forward in our data reply (FwdGetM)
+
+	// Collected data (for recalls and forwards).
+	hasData bool
+	data    uint64
+	dirty   bool
+	migr    bool
+	// prevOwner is the local L1 that owned the line before a FwdGetS
+	// degraded it to S; it must join the sharer set.
+	prevOwner topo.NodeID
+
+	// Eviction recall bookkeeping.
+	evState l2Line
+
+	// Home forwards arriving while this service (an eviction) runs.
+	pendingHome []*network.Message
+}
+
+// L2Stats counts per-bank events.
+type L2Stats struct {
+	LocalGetS, LocalGetM uint64
+	InterGetS, InterGetM uint64
+	FwdsIn               uint64
+	InvsIn               uint64
+	Recalls              uint64
+	Writebacks           uint64
+	MigratoryGrants      uint64
+}
+
+// L2Ctrl is a DirectoryCMP L2 bank: a shared cache slice plus the
+// intra-CMP directory for its blocks, and the chip's agent in the
+// inter-CMP protocol.
+type L2Ctrl struct {
+	id        topo.NodeID
+	sys       *System
+	cmp, bank int
+
+	cache *cache.Array[l2Line]
+	busy  map[mem.Block]*l2Txn
+	ext   map[mem.Block]*extSrv
+	queue map[mem.Block][]*network.Message
+	wb    map[mem.Block]*wbEntry // our three-phase PUTs to home
+
+	Stats L2Stats
+}
+
+func newL2(sys *System, id topo.NodeID, cmp, bank int) *L2Ctrl {
+	cfg := sys.Cfg
+	return &L2Ctrl{
+		id:    id,
+		sys:   sys,
+		cmp:   cmp,
+		bank:  bank,
+		cache: cache.New[l2Line](cache.Params{SizeBytes: cfg.L2BankSize, Ways: cfg.L2Ways, BlockSize: mem.BlockSize}),
+		busy:  make(map[mem.Block]*l2Txn),
+		ext:   make(map[mem.Block]*extSrv),
+		queue: make(map[mem.Block][]*network.Message),
+		wb:    make(map[mem.Block]*wbEntry),
+	}
+}
+
+func (c *L2Ctrl) lookup(b mem.Block) *l2Line {
+	if l := c.cache.Lookup(b); l != nil {
+		return &l.State
+	}
+	return nil
+}
+
+func (c *L2Ctrl) home(b mem.Block) topo.NodeID { return c.sys.Geom.HomeMem(b) }
+
+// l1Bit maps a local L1 endpoint to its sharer-mask bit.
+func (c *L2Ctrl) l1Bit(id topo.NodeID) uint64 {
+	g := c.sys.Geom
+	idx := g.IndexOf(id)
+	if g.KindOf(id) == topo.L1I {
+		idx += g.ProcsPerCMP
+	}
+	return 1 << uint(idx)
+}
+
+func (c *L2Ctrl) l1FromBit(bit int) topo.NodeID {
+	g := c.sys.Geom
+	if bit < g.ProcsPerCMP {
+		return g.L1DNode(c.cmp, bit)
+	}
+	return g.L1INode(c.cmp, bit-g.ProcsPerCMP)
+}
+
+// Recv implements network.Endpoint.
+func (c *L2Ctrl) Recv(m *network.Message) {
+	c.sys.Eng.Schedule(c.sys.Cfg.L2Latency, func() { c.handle(m) })
+}
+
+func (c *L2Ctrl) handle(m *network.Message) {
+	switch m.Kind {
+	case kGetS, kGetM:
+		c.admitLocal(m)
+	case kFwdResp:
+		c.handleFwdResp(m)
+	case kInvAck:
+		c.handleInvAck(m)
+	case kData, kGrant:
+		c.handleInterGrant(m)
+	case kFwdGetS, kFwdGetM:
+		c.admitHomeFwd(m)
+	case kInv:
+		c.admitHomeInv(m)
+	case kUnblock:
+		c.handleUnblock(m)
+	case kPut:
+		c.handlePut(m)
+	case kWbGrant:
+		c.handleWbGrant(m)
+	case kWbData, kWbCancel:
+		c.handleWbData(m)
+	default:
+		panic(fmt.Sprintf("directory: L2 %v cannot handle %s", c.id, kindName(m.Kind)))
+	}
+}
+
+// admitLocal starts a local transaction or defers it behind the block's
+// current activity.
+func (c *L2Ctrl) admitLocal(m *network.Message) {
+	b := m.Block
+	if c.busy[b] != nil || c.ext[b] != nil {
+		c.queue[b] = append(c.queue[b], m)
+		return
+	}
+	c.startLocal(m)
+}
+
+func (c *L2Ctrl) startLocal(m *network.Message) {
+	b := m.Block
+	txn := &l2Txn{req: m, kind: m.Kind}
+	c.busy[b] = txn
+	line := c.lookup(b)
+	if line != nil {
+		line.pinned = true
+	}
+
+	if m.Kind == kGetS {
+		c.Stats.LocalGetS++
+		switch {
+		case line != nil && line.cs != csI && line.ownerL1 != topo.None && line.ownerL1 != m.Requestor:
+			txn.fwdPending = true
+			c.sendToL1(line.ownerL1, b, kFwdGetS, tagTxn, 0)
+		case line != nil && line.cs != csI && line.hasData:
+			c.grantLocal(b, txn)
+		case line != nil && line.cs != csI && line.ownerL1 == m.Requestor:
+			// The requester is the registered owner yet missed: its copy
+			// was consumed (writeback raced). Re-supply via home.
+			c.goInter(b, txn)
+		default:
+			c.goInter(b, txn)
+		}
+		return
+	}
+
+	c.Stats.LocalGetM++
+	switch {
+	case line != nil && (line.cs == csM || line.cs == csE):
+		if line.ownerL1 != topo.None && line.ownerL1 != m.Requestor {
+			txn.fwdPending = true
+			c.sendToL1(line.ownerL1, b, kFwdGetM, tagTxn, 0)
+			return
+		}
+		c.invalidateLocalSharers(b, txn, m.Requestor)
+		if txn.localAcks == 0 {
+			c.grantLocal(b, txn)
+		}
+	default:
+		c.goInter(b, txn)
+	}
+}
+
+func (c *L2Ctrl) sendToL1(dst topo.NodeID, b mem.Block, kind, tag, aux int) {
+	c.sys.Net.Send(&network.Message{
+		Src:       c.id,
+		Dst:       dst,
+		Block:     b,
+		Kind:      kind,
+		Class:     stats.InvFwdAckTokens,
+		Requestor: c.id,
+		Proc:      tag,
+		Aux:       aux,
+	})
+}
+
+// invalidateLocalSharers sends txn-tagged invalidations to every local
+// sharer except the requester.
+func (c *L2Ctrl) invalidateLocalSharers(b mem.Block, txn *l2Txn, except topo.NodeID) {
+	line := c.lookup(b)
+	if line == nil {
+		return
+	}
+	mask := line.sharers
+	if except != topo.None {
+		mask &^= c.l1Bit(except)
+	}
+	for bit := 0; mask != 0; bit++ {
+		if mask&(1<<uint(bit)) == 0 {
+			continue
+		}
+		mask &^= 1 << uint(bit)
+		txn.localAcks++
+		c.sendToL1(c.l1FromBit(bit), b, kInv, tagTxn, 0)
+	}
+	if except != topo.None {
+		line.sharers &= c.l1Bit(except)
+	} else {
+		line.sharers = 0
+	}
+}
+
+// grantLocal completes a local transaction by granting the requester.
+func (c *L2Ctrl) grantLocal(b mem.Block, txn *l2Txn) {
+	line := c.lookup(b)
+	if line == nil {
+		panic(fmt.Sprintf("directory: L2 %v grantLocal without line for %v", c.id, b))
+	}
+	req := txn.req.Requestor
+	reqBit := c.l1Bit(req)
+
+	var gst grantState
+	withData := true
+	switch {
+	case txn.kind == kGetM:
+		gst = grantM
+		withData = line.sharers&reqBit == 0
+		line.sharers &^= reqBit
+		line.ownerL1 = req
+		line.cs = csM
+	case txn.migr:
+		// Migratory read: pass exclusive ownership.
+		gst = grantM
+		c.Stats.MigratoryGrants++
+		line.ownerL1 = req
+		line.cs = csM
+	case (line.cs == csM || line.cs == csE) && line.ownerL1 == topo.None && line.sharers == 0:
+		gst = grantE
+		line.ownerL1 = req
+	default:
+		gst = grantS
+		line.sharers |= reqBit
+	}
+
+	msg := &network.Message{
+		Src:       c.id,
+		Dst:       req,
+		Block:     b,
+		Kind:      kGrant,
+		Class:     stats.InvFwdAckTokens,
+		Aux:       packAux(gst, 0, false),
+		Requestor: req,
+	}
+	if withData {
+		msg.Kind = kData
+		msg.Class = stats.ResponseData
+		msg.HasData = true
+		msg.Data = line.data
+		msg.Dirty = line.dirty
+	}
+	if gst == grantE || gst == grantM {
+		// An exclusive holder may modify silently; the L2 copy is no
+		// longer authoritative.
+		line.hasData = false
+	}
+	c.sys.Net.Send(msg)
+	// Remain busy until the L1's unblock.
+}
+
+// goInter escalates to the inter-CMP directory at the block's home.
+func (c *L2Ctrl) goInter(b mem.Block, txn *l2Txn) {
+	if !c.reserve(b) {
+		// Set conflict with unfinishable eviction right now; retry.
+		c.sys.Eng.Schedule(c.sys.Cfg.L2Latency, func() {
+			if c.busy[b] == txn {
+				c.goInter(b, txn)
+			}
+		})
+		return
+	}
+	txn.interPending = true
+	if txn.kind == kGetS {
+		c.Stats.InterGetS++
+	} else {
+		c.Stats.InterGetM++
+	}
+	c.sys.Net.Send(&network.Message{
+		Src:       c.id,
+		Dst:       c.home(b),
+		Block:     b,
+		Kind:      txn.kind,
+		Class:     stats.Request,
+		Requestor: c.id,
+	})
+}
+
+// reserve pins a line for b, evicting a victim (with recall) if needed.
+// It reports false if no way is currently evictable.
+func (c *L2Ctrl) reserve(b mem.Block) bool {
+	if l := c.cache.Lookup(b); l != nil {
+		l.State.pinned = true
+		return true
+	}
+	line, victim, vstate, wasEvicted, ok := c.cache.InstallAvoiding(b, func(st *l2Line) bool { return st.pinned })
+	if !ok {
+		return false
+	}
+	line.State.pinned = true
+	line.State.ownerL1 = topo.None
+	if wasEvicted {
+		c.recall(victim, vstate)
+	}
+	return true
+}
+
+// recall evicts a victim line: invalidate local L1 copies (collecting
+// data from a local owner), then write owned data back to the home via a
+// three-phase PUT.
+func (c *L2Ctrl) recall(v mem.Block, st l2Line) {
+	c.Stats.Recalls++
+	srv := &extSrv{kind: -1, evState: st, hasData: st.hasData, data: st.data, dirty: st.dirty}
+	c.ext[v] = srv
+	if st.ownerL1 != topo.None {
+		srv.fwdWait = true
+		c.sendToL1(st.ownerL1, v, kFwdGetM, tagEvict, 0)
+	}
+	mask := st.sharers
+	for bit := 0; mask != 0; bit++ {
+		if mask&(1<<uint(bit)) == 0 {
+			continue
+		}
+		mask &^= 1 << uint(bit)
+		srv.acks++
+		c.sendToL1(c.l1FromBit(bit), v, kInv, tagEvict, 0)
+	}
+	c.finishRecallIfDone(v, srv)
+}
+
+func (c *L2Ctrl) finishRecallIfDone(v mem.Block, srv *extSrv) {
+	if srv.fwdWait || srv.acks > 0 {
+		return
+	}
+	st := srv.evState
+	owned := st.cs == csM || st.cs == csE || st.cs == csO
+	if owned {
+		c.Stats.Writebacks++
+		c.wb[v] = &wbEntry{data: srv.data, dirty: srv.dirty, valid: true}
+		c.sys.Net.Send(&network.Message{
+			Src:   c.id,
+			Dst:   c.home(v),
+			Block: v,
+			Kind:  kPut,
+			Class: stats.WritebackControl,
+		})
+	}
+	delete(c.ext, v)
+	// Home forwards that arrived mid-recall are served now (from the
+	// writeback buffer) — re-admit them.
+	for _, hm := range srv.pendingHome {
+		c.handle(hm)
+	}
+	c.drain(v)
+}
+
+// handleFwdResp routes a local L1's forward response to its collector.
+func (c *L2Ctrl) handleFwdResp(m *network.Message) {
+	b := m.Block
+	_, _, migr := unpackAux(m.Aux)
+	switch m.Proc {
+	case tagTxn:
+		txn := c.busy[b]
+		if txn == nil || !txn.fwdPending {
+			panic(fmt.Sprintf("directory: L2 %v stray FwdResp for %v", c.id, b))
+		}
+		txn.fwdPending = false
+		line := c.lookup(b)
+		line.data = m.Data
+		line.dirty = m.Dirty
+		line.hasData = true
+		txn.migr = migr
+		prevOwner := line.ownerL1
+		line.ownerL1 = topo.None
+		if txn.kind == kGetS && !migr && prevOwner != topo.None {
+			line.sharers |= c.l1Bit(prevOwner) // owner degraded to S
+		}
+		if txn.kind == kGetM {
+			// Remaining local sharers must go before the grant.
+			c.invalidateLocalSharers(b, txn, txn.req.Requestor)
+			if txn.localAcks > 0 {
+				return
+			}
+		}
+		c.grantLocal(b, txn)
+	case tagExt:
+		srv := c.ext[b]
+		if srv == nil {
+			panic(fmt.Sprintf("directory: L2 %v FwdResp with no ext service for %v", c.id, b))
+		}
+		srv.fwdWait = false
+		srv.hasData = true
+		srv.data = m.Data
+		srv.dirty = m.Dirty
+		srv.migr = migr
+		c.finishExtIfDone(b, srv)
+	case tagEvict:
+		srv := c.ext[b]
+		if srv == nil {
+			panic(fmt.Sprintf("directory: L2 %v recall FwdResp with no service for %v", c.id, b))
+		}
+		srv.fwdWait = false
+		srv.hasData = true
+		srv.data = m.Data
+		srv.dirty = m.Dirty
+		c.finishRecallIfDone(b, srv)
+	default:
+		panic("directory: bad FwdResp tag")
+	}
+}
+
+// handleInvAck routes an invalidation ack to its collector.
+func (c *L2Ctrl) handleInvAck(m *network.Message) {
+	b := m.Block
+	switch m.Proc {
+	case tagTxn:
+		txn := c.busy[b]
+		if txn == nil {
+			panic(fmt.Sprintf("directory: L2 %v stray local InvAck for %v", c.id, b))
+		}
+		txn.localAcks--
+		if txn.localAcks == 0 && !txn.fwdPending {
+			c.grantLocal(b, txn)
+		}
+	case tagExt:
+		srv := c.ext[b]
+		if srv == nil {
+			panic(fmt.Sprintf("directory: L2 %v stray ext InvAck for %v", c.id, b))
+		}
+		srv.acks--
+		c.finishExtIfDone(b, srv)
+	case tagEvict:
+		srv := c.ext[b]
+		if srv == nil {
+			panic(fmt.Sprintf("directory: L2 %v stray recall InvAck for %v", c.id, b))
+		}
+		srv.acks--
+		c.finishRecallIfDone(b, srv)
+	case tagInter:
+		txn := c.busy[b]
+		if txn == nil || !txn.interPending {
+			panic(fmt.Sprintf("directory: L2 %v stray inter InvAck for %v", c.id, b))
+		}
+		txn.interAcksGot++
+		c.finishInterIfDone(b, txn)
+	default:
+		panic("directory: bad InvAck tag")
+	}
+}
+
+// handleInterGrant receives the home's (or owner chip's) grant for our
+// inter-CMP request.
+func (c *L2Ctrl) handleInterGrant(m *network.Message) {
+	b := m.Block
+	txn := c.busy[b]
+	if txn == nil || !txn.interPending {
+		panic(fmt.Sprintf("directory: L2 %v stray inter grant for %v", c.id, b))
+	}
+	gst, acks, migr := unpackAux(m.Aux)
+	txn.interGot = true
+	txn.interState = gst
+	txn.interMigr = migr
+	txn.interHasData = m.HasData
+	txn.interData = m.Data
+	txn.interDirty = m.Dirty
+	txn.interAcksNeed = acks
+	c.finishInterIfDone(b, txn)
+}
+
+func (c *L2Ctrl) finishInterIfDone(b mem.Block, txn *l2Txn) {
+	if !txn.interGot || txn.interAcksGot < txn.interAcksNeed {
+		return
+	}
+	txn.interPending = false
+
+	// Fold the grant into the line and tell the home we are done.
+	line := c.lookup(b)
+	if line == nil {
+		panic(fmt.Sprintf("directory: L2 %v inter grant without reserved line for %v", c.id, b))
+	}
+	var result grantState
+	switch {
+	case txn.kind == kGetM:
+		line.cs = csM
+		result = grantM
+	case txn.interMigr:
+		line.cs = csM
+		result = grantM
+		txn.migr = true
+	case txn.interState == grantE:
+		line.cs = csE
+		result = grantE
+	default:
+		line.cs = csS
+		result = grantS
+	}
+	if txn.interHasData {
+		line.hasData = true
+		line.data = txn.interData
+		line.dirty = txn.interDirty
+	}
+	c.sys.Net.Send(&network.Message{
+		Src:   c.id,
+		Dst:   c.home(b),
+		Block: b,
+		Kind:  kUnblock,
+		Class: stats.Unblock,
+		Aux:   packAux(result, 0, txn.interMigr),
+	})
+
+	if txn.kind == kGetM {
+		c.invalidateLocalSharers(b, txn, txn.req.Requestor)
+		if txn.localAcks > 0 {
+			return
+		}
+	}
+	c.grantLocal(b, txn)
+}
+
+// handleUnblock closes a local transaction.
+func (c *L2Ctrl) handleUnblock(m *network.Message) {
+	b := m.Block
+	if c.busy[b] == nil {
+		panic(fmt.Sprintf("directory: L2 %v unblock without transaction for %v", c.id, b))
+	}
+	delete(c.busy, b)
+	if line := c.lookup(b); line != nil {
+		line.pinned = c.ext[b] != nil
+	}
+	c.drain(b)
+}
+
+// drain admits the next deferred message for b, if the block is idle.
+func (c *L2Ctrl) drain(b mem.Block) {
+	for c.busy[b] == nil && c.ext[b] == nil {
+		q := c.queue[b]
+		if len(q) == 0 {
+			delete(c.queue, b)
+			return
+		}
+		m := q[0]
+		if len(q) == 1 {
+			delete(c.queue, b)
+		} else {
+			c.queue[b] = q[1:]
+		}
+		c.handle(m)
+	}
+}
+
+// admitHomeFwd handles a forward from the home directory (we are the
+// owner chip). It runs immediately unless a purely-local transaction or
+// an eviction recall holds the block.
+func (c *L2Ctrl) admitHomeFwd(m *network.Message) {
+	b := m.Block
+	if srv := c.ext[b]; srv != nil {
+		if srv.kind == -1 {
+			srv.pendingHome = append(srv.pendingHome, m)
+			return
+		}
+		panic(fmt.Sprintf("directory: L2 %v overlapping home services for %v", c.id, b))
+	}
+	if txn := c.busy[b]; txn != nil && !txn.interPending {
+		c.queue[b] = append(c.queue[b], m)
+		return
+	}
+	c.startHomeFwd(m)
+}
+
+func (c *L2Ctrl) startHomeFwd(m *network.Message) {
+	b := m.Block
+	c.Stats.FwdsIn++
+	line := c.lookup(b)
+
+	// Data may live in our writeback buffer (PUT racing with the fwd).
+	if line == nil || !(line.cs == csM || line.cs == csE || line.cs == csO) || (!line.hasData && line.ownerL1 == topo.None) {
+		if w := c.wb[b]; w != nil && w.valid {
+			c.serveFwdFromWb(m, w)
+			return
+		}
+		panic(fmt.Sprintf("directory: L2 %v owner-forward %s for %v without data", c.id, kindName(m.Kind), b))
+	}
+
+	_, acks, _ := unpackAux(m.Aux)
+	srv := &extSrv{kind: m.Kind, replyTo: m.Requestor, acksFor: acks}
+	c.ext[b] = srv
+	line.pinned = true
+
+	if m.Kind == kFwdGetM {
+		if line.ownerL1 != topo.None {
+			srv.fwdWait = true
+			c.sendToL1(line.ownerL1, b, kFwdGetM, tagExt, 0)
+		} else {
+			srv.hasData = true
+			srv.data = line.data
+			srv.dirty = line.dirty
+		}
+		mask := line.sharers
+		for bit := 0; mask != 0; bit++ {
+			if mask&(1<<uint(bit)) == 0 {
+				continue
+			}
+			mask &^= 1 << uint(bit)
+			srv.acks++
+			c.sendToL1(c.l1FromBit(bit), b, kInv, tagExt, 0)
+		}
+		line.sharers = 0
+		c.finishExtIfDone(b, srv)
+		return
+	}
+
+	// FwdGetS.
+	if line.ownerL1 != topo.None {
+		srv.fwdWait = true
+		srv.prevOwner = line.ownerL1
+		c.sendToL1(line.ownerL1, b, kFwdGetS, tagExt, 0)
+		return
+	}
+	srv.prevOwner = topo.None
+	// L2 itself holds the data. Chip-level migratory: modified and no
+	// local readers.
+	if line.cs == csM && line.dirty && line.sharers == 0 {
+		srv.hasData = true
+		srv.data = line.data
+		srv.dirty = line.dirty
+		srv.migr = true
+		c.finishExtIfDone(b, srv)
+		return
+	}
+	srv.hasData = true
+	srv.data = line.data
+	srv.dirty = line.dirty
+	c.finishExtIfDone(b, srv)
+}
+
+// finishExtIfDone completes a home-initiated service once local
+// collection is done: reply to the remote requester and update chip
+// state.
+func (c *L2Ctrl) finishExtIfDone(b mem.Block, srv *extSrv) {
+	if srv.fwdWait || srv.acks > 0 {
+		return
+	}
+	line := c.lookup(b)
+	switch srv.kind {
+	case kFwdGetM:
+		c.sys.Net.Send(&network.Message{
+			Src:       c.id,
+			Dst:       srv.replyTo,
+			Block:     b,
+			Kind:      kData,
+			Class:     stats.ResponseData,
+			HasData:   true,
+			Data:      srv.data,
+			Dirty:     srv.dirty,
+			Aux:       packAux(grantM, srv.acksFor, false),
+			Requestor: srv.replyTo,
+		})
+		c.dropLine(b, line)
+	case kFwdGetS:
+		if srv.migr {
+			// Migratory chip-to-chip transfer: requester gets M; we
+			// invalidate entirely.
+			c.Stats.MigratoryGrants++
+			c.sys.Net.Send(&network.Message{
+				Src:       c.id,
+				Dst:       srv.replyTo,
+				Block:     b,
+				Kind:      kData,
+				Class:     stats.ResponseData,
+				HasData:   true,
+				Data:      srv.data,
+				Dirty:     srv.dirty,
+				Aux:       packAux(grantM, 0, true),
+				Requestor: srv.replyTo,
+			})
+			c.dropLine(b, line)
+		} else {
+			// We keep the data and stay owner (chip state O).
+			if line == nil {
+				panic(fmt.Sprintf("directory: L2 %v lost line during FwdGetS service for %v", c.id, b))
+			}
+			line.hasData = true
+			line.data = srv.data
+			line.dirty = srv.dirty
+			if srv.prevOwner != topo.None {
+				// The owning L1 degraded itself to S; it is a sharer now
+				// and must be invalidated by future writers.
+				line.sharers |= c.l1Bit(srv.prevOwner)
+				line.ownerL1 = topo.None
+			}
+			line.cs = csO
+			c.sys.Net.Send(&network.Message{
+				Src:       c.id,
+				Dst:       srv.replyTo,
+				Block:     b,
+				Kind:      kData,
+				Class:     stats.ResponseData,
+				HasData:   true,
+				Data:      srv.data,
+				Dirty:     srv.dirty,
+				Aux:       packAux(grantS, 0, false),
+				Requestor: srv.replyTo,
+			})
+		}
+	case kInv:
+		c.sys.Net.Send(&network.Message{
+			Src:   c.id,
+			Dst:   srv.replyTo,
+			Block: b,
+			Kind:  kInvAck,
+			Class: stats.InvFwdAckTokens,
+			Proc:  tagInter,
+		})
+		c.dropLine(b, line)
+	}
+	delete(c.ext, b)
+	if line := c.lookup(b); line != nil {
+		line.pinned = c.busy[b] != nil
+	}
+	c.drain(b)
+}
+
+// dropLine invalidates our copy of b (chip lost all permission).
+func (c *L2Ctrl) dropLine(b mem.Block, line *l2Line) {
+	if line == nil {
+		return
+	}
+	if c.busy[b] != nil {
+		// A local transaction is inter-pending on this very block; keep
+		// the reserved (now invalid) line for its grant.
+		line.cs = csI
+		line.hasData = false
+		line.ownerL1 = topo.None
+		line.sharers = 0
+		return
+	}
+	c.cache.Invalidate(b)
+}
+
+// serveFwdFromWb answers a home forward from the writeback buffer (the
+// PUT will be cancelled when its grant arrives).
+func (c *L2Ctrl) serveFwdFromWb(m *network.Message, w *wbEntry) {
+	b := m.Block
+	_, acks, _ := unpackAux(m.Aux)
+	gst := grantS
+	if m.Kind == kFwdGetM {
+		gst = grantM
+		w.valid = false
+	}
+	c.sys.Net.Send(&network.Message{
+		Src:       c.id,
+		Dst:       m.Requestor,
+		Block:     b,
+		Kind:      kData,
+		Class:     stats.ResponseData,
+		HasData:   true,
+		Data:      w.data,
+		Dirty:     w.dirty,
+		Aux:       packAux(gst, acks, false),
+		Requestor: m.Requestor,
+	})
+}
+
+// admitHomeInv invalidates the whole chip's copy on behalf of a remote
+// writer, acking to the requesting chip.
+func (c *L2Ctrl) admitHomeInv(m *network.Message) {
+	b := m.Block
+	if srv := c.ext[b]; srv != nil {
+		if srv.kind == -1 {
+			srv.pendingHome = append(srv.pendingHome, m)
+			return
+		}
+		panic(fmt.Sprintf("directory: L2 %v overlapping home inv for %v", c.id, b))
+	}
+	if txn := c.busy[b]; txn != nil && !txn.interPending {
+		c.queue[b] = append(c.queue[b], m)
+		return
+	}
+	c.Stats.InvsIn++
+	line := c.lookup(b)
+	if line == nil {
+		// Stale sharer entry (we dropped an S line silently, or the copy
+		// left in a writeback): ack immediately.
+		if w := c.wb[b]; w != nil {
+			w.valid = false
+		}
+		c.sys.Net.Send(&network.Message{
+			Src:   c.id,
+			Dst:   m.Requestor,
+			Block: b,
+			Kind:  kInvAck,
+			Class: stats.InvFwdAckTokens,
+			Proc:  tagInter,
+		})
+		return
+	}
+	srv := &extSrv{kind: kInv, replyTo: m.Requestor}
+	c.ext[b] = srv
+	line.pinned = true
+	if line.ownerL1 != topo.None {
+		srv.acks++
+		c.sendToL1(line.ownerL1, b, kInv, tagExt, 0)
+		line.ownerL1 = topo.None
+	}
+	mask := line.sharers
+	for bit := 0; mask != 0; bit++ {
+		if mask&(1<<uint(bit)) == 0 {
+			continue
+		}
+		mask &^= 1 << uint(bit)
+		srv.acks++
+		c.sendToL1(c.l1FromBit(bit), b, kInv, tagExt, 0)
+	}
+	line.sharers = 0
+	c.finishExtIfDone(b, srv)
+}
+
+// handlePut runs the L2 side of an L1's three-phase writeback.
+func (c *L2Ctrl) handlePut(m *network.Message) {
+	b := m.Block
+	if c.busy[b] != nil || c.ext[b] != nil {
+		c.queue[b] = append(c.queue[b], m)
+		return
+	}
+	// Grant immediately; the transaction completes on WbData/WbCancel.
+	// Mark busy so conflicting requests defer.
+	c.busy[b] = &l2Txn{req: m, kind: kPut}
+	if line := c.lookup(b); line != nil {
+		line.pinned = true
+	}
+	c.sys.Net.Send(&network.Message{
+		Src:   c.id,
+		Dst:   m.Src,
+		Block: b,
+		Kind:  kWbGrant,
+		Class: stats.WritebackControl,
+	})
+}
+
+// handleWbGrant: the home granted OUR put; answer with data or cancel.
+func (c *L2Ctrl) handleWbGrant(m *network.Message) {
+	b := m.Block
+	w := c.wb[b]
+	if w == nil {
+		panic(fmt.Sprintf("directory: L2 %v WbGrant without PUT for %v", c.id, b))
+	}
+	delete(c.wb, b)
+	if !w.valid {
+		c.sys.Net.Send(&network.Message{
+			Src:   c.id,
+			Dst:   m.Src,
+			Block: b,
+			Kind:  kWbCancel,
+			Class: stats.WritebackControl,
+		})
+		return
+	}
+	c.sys.Net.Send(&network.Message{
+		Src:     c.id,
+		Dst:     m.Src,
+		Block:   b,
+		Kind:    kWbData,
+		Class:   stats.WritebackData,
+		HasData: true,
+		Data:    w.data,
+		Dirty:   w.dirty,
+	})
+}
+
+// handleWbData completes a local L1's three-phase writeback at this bank.
+func (c *L2Ctrl) handleWbData(m *network.Message) {
+	b := m.Block
+	txn := c.busy[b]
+	if txn == nil || txn.kind != kPut {
+		panic(fmt.Sprintf("directory: L2 %v %s without PUT transaction for %v", c.id, kindName(m.Kind), b))
+	}
+	delete(c.busy, b)
+	evictorBit := c.l1Bit(m.Src)
+	if m.Kind == kWbData {
+		// Accept the data; the evictor was the local owner (E/M).
+		if !c.reserve(b) {
+			// Extremely unlikely; absorb by writing through to home.
+			c.sys.Net.Send(&network.Message{
+				Src: c.id, Dst: c.home(b), Block: b, Kind: kPut,
+				Class: stats.WritebackControl,
+			})
+			c.wb[b] = &wbEntry{data: m.Data, dirty: m.Dirty, valid: true}
+		} else {
+			line := c.lookup(b)
+			line.hasData = true
+			line.data = m.Data
+			line.dirty = line.dirty || m.Dirty
+			if line.ownerL1 == m.Src {
+				line.ownerL1 = topo.None
+			}
+			line.sharers &^= evictorBit
+			line.pinned = c.ext[b] != nil
+		}
+	} else if line := c.lookup(b); line != nil {
+		// Cancelled: the copy was consumed by an earlier transaction.
+		if line.ownerL1 == m.Src {
+			line.ownerL1 = topo.None
+		}
+		line.sharers &^= evictorBit
+		line.pinned = c.ext[b] != nil
+	}
+	c.drain(b)
+}

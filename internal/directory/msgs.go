@@ -1,0 +1,82 @@
+// Package directory implements DirectoryCMP (Section 2): the baseline
+// hierarchical MOESI coherence protocol with an intra-CMP directory at
+// each L2 bank tracking L1 copies and an inter-CMP directory at each
+// memory controller tracking which CMPs cache a block.
+//
+// Both directory levels use per-block busy states to defer conflicting
+// requests, unblock messages from requesters to close transactions, and
+// three-phase writebacks (PUT → grant → data), as the paper describes.
+// The migratory-sharing optimization is implemented at both levels: a
+// cache (or chip) holding a modified block invalidates its copy when
+// responding, granting the requester read/write access even for a read
+// request.
+package directory
+
+import "fmt"
+
+// Message kinds.
+const (
+	// kGetS / kGetM request read / write permission (L1→L2 bank intra,
+	// L2 bank→home inter).
+	kGetS = iota
+	kGetM
+	// kFwdGetS / kFwdGetM are directory forwards to the current owner
+	// (L2→owner L1 intra, home→owner CMP's L2 inter). For kFwdGetM, Aux
+	// carries the invalidation-ack count the requester must collect.
+	kFwdGetS
+	kFwdGetM
+	// kFwdResp answers an intra-CMP forward: owner L1 → its L2 bank (the
+	// paper's artifact — data routes through the intra-CMP directory).
+	kFwdResp
+	// kInv invalidates a sharer (L2→L1 intra; home→sharer CMP's L2
+	// inter). Requestor names the ack collector.
+	kInv
+	// kInvAck acknowledges an invalidation to the collector.
+	kInvAck
+	// kData is a grant carrying data; Aux packs granted state, ack count,
+	// and the migratory flag.
+	kData
+	// kGrant is a dataless grant (upgrade paths); Aux as kData.
+	kGrant
+	// kUnblock closes a directory transaction; Aux packs the resulting
+	// state so the directory can be updated.
+	kUnblock
+	// kPut / kWbGrant / kWbData / kWbCancel implement three-phase
+	// writebacks at both levels.
+	kPut
+	kWbGrant
+	kWbData
+	kWbCancel
+)
+
+func kindName(k int) string {
+	names := []string{"GetS", "GetM", "FwdGetS", "FwdGetM", "FwdResp", "Inv",
+		"InvAck", "Data", "Grant", "Unblock", "Put", "WbGrant", "WbData", "WbCancel"}
+	if k >= 0 && k < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// grantState values carried in Aux.
+type grantState int
+
+const (
+	grantS grantState = iota
+	grantE
+	grantM
+)
+
+// packAux encodes grant state, pending-ack count, and the migratory flag
+// into a message Aux field.
+func packAux(st grantState, acks int, migratory bool) int {
+	v := int(st) | acks<<2
+	if migratory {
+		v |= 1 << 30
+	}
+	return v
+}
+
+func unpackAux(v int) (st grantState, acks int, migratory bool) {
+	return grantState(v & 3), (v >> 2) & 0xFFFFFF, v&(1<<30) != 0
+}

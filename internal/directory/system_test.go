@@ -1,0 +1,160 @@
+package directory
+
+import (
+	"testing"
+
+	"tokencmp/internal/cpu"
+	"tokencmp/internal/mem"
+	"tokencmp/internal/network"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/topo"
+)
+
+func testSystem(t *testing.T, zero bool) (*sim.Engine, *System) {
+	t.Helper()
+	eng := sim.NewEngine()
+	g := topo.NewGeometry(2, 2, 1)
+	cfg := DefaultConfig(g)
+	if zero {
+		cfg = ZeroDirConfig(g)
+	}
+	cfg.L1Size = 4 << 10
+	cfg.L2BankSize = 32 << 10
+	return eng, NewSystem(eng, cfg, network.Default())
+}
+
+func run(t *testing.T, eng *sim.Engine, cond func() bool, what string) {
+	t.Helper()
+	if !eng.RunUntil(cond, 2_000_000) {
+		t.Fatalf("%s: did not complete (events=%d, pending=%d, now=%v)",
+			what, eng.Executed, eng.Pending(), eng.Now())
+	}
+}
+
+func TestDirSingleLoad(t *testing.T) {
+	eng, sys := testSystem(t, false)
+	d, _ := sys.Ports(0)
+	var done bool
+	var val uint64
+	d.Access(cpu.Load, 0x1000, 0, func(v uint64) { done = true; val = v })
+	run(t, eng, func() bool { return done }, "load")
+	if val != 0 {
+		t.Errorf("load = %d, want 0", val)
+	}
+}
+
+func TestDirStoreThenRemoteLoad(t *testing.T) {
+	eng, sys := testSystem(t, false)
+	p0, _ := sys.Ports(0)
+	p3, _ := sys.Ports(3)
+	var done bool
+	p0.Access(cpu.Store, 0x2000, 7, func(uint64) { done = true })
+	run(t, eng, func() bool { return done }, "store")
+
+	done = false
+	var val uint64
+	p3.Access(cpu.Load, 0x2000, 0, func(v uint64) { done = true; val = v })
+	run(t, eng, func() bool { return done }, "remote load")
+	if val != 7 {
+		t.Errorf("remote load = %d, want 7 (migratory transfer)", val)
+	}
+}
+
+func TestDirLocalSharingThenUpgrade(t *testing.T) {
+	eng, sys := testSystem(t, false)
+	p0, _ := sys.Ports(0)
+	p1, _ := sys.Ports(1) // same CMP
+	var n int
+	p0.Access(cpu.Load, 0x3000, 0, func(uint64) { n++ })
+	run(t, eng, func() bool { return n == 1 }, "p0 load")
+	p1.Access(cpu.Load, 0x3000, 0, func(uint64) { n++ })
+	run(t, eng, func() bool { return n == 2 }, "p1 load")
+	// Now p1 upgrades to M: p0 must be invalidated.
+	p1.Access(cpu.Store, 0x3000, 9, func(uint64) { n++ })
+	run(t, eng, func() bool { return n == 3 }, "p1 store")
+	var val uint64
+	p0.Access(cpu.Load, 0x3000, 0, func(v uint64) { n++; val = v })
+	run(t, eng, func() bool { return n == 4 }, "p0 reload")
+	if val != 9 {
+		t.Errorf("p0 reload = %d, want 9", val)
+	}
+}
+
+func TestDirAtomicSerializes(t *testing.T) {
+	for _, zero := range []bool{false, true} {
+		eng, sys := testSystem(t, zero)
+		const addr = 0x4000
+		results := make([]uint64, 4)
+		cnt := 0
+		for i := 0; i < 4; i++ {
+			i := i
+			d, _ := sys.Ports(i)
+			d.Access(cpu.Atomic, addr, uint64(i+1), func(old uint64) {
+				results[i] = old
+				cnt++
+			})
+		}
+		run(t, eng, func() bool { return cnt == 4 }, "atomics")
+		seen := map[uint64]bool{}
+		for _, r := range results {
+			if seen[r] {
+				t.Fatalf("duplicate swap result %d: %v", r, results)
+			}
+			seen[r] = true
+		}
+		if !seen[0] {
+			t.Errorf("no swap saw initial value: %v", results)
+		}
+	}
+}
+
+func TestDirContendedStores(t *testing.T) {
+	eng, sys := testSystem(t, false)
+	const addr = 0x5000
+	total := 0
+	var issue func(proc, n int)
+	issue = func(proc, n int) {
+		if n == 0 {
+			return
+		}
+		d, _ := sys.Ports(proc)
+		d.Access(cpu.Store, addr, uint64(proc*100+n), func(uint64) {
+			total++
+			issue(proc, n-1)
+		})
+	}
+	for p := 0; p < 4; p++ {
+		issue(p, 5)
+	}
+	run(t, eng, func() bool { return total == 20 }, "contended stores")
+}
+
+func TestDirEvictionWriteback(t *testing.T) {
+	eng, sys := testSystem(t, false)
+	d, _ := sys.Ports(0)
+	// 4KB 4-way L1 with 64B blocks: 16 sets. Write 3 blocks mapping to
+	// the same set beyond associativity to force writebacks, then read
+	// the first back.
+	setStride := mem.Addr(16 * 64)
+	base := mem.Addr(0x8000)
+	n := 0
+	var write func(i int)
+	write = func(i int) {
+		if i == 6 {
+			return
+		}
+		d.Access(cpu.Store, base+mem.Addr(i)*setStride, uint64(100+i), func(uint64) {
+			n++
+			write(i + 1)
+		})
+	}
+	write(0)
+	run(t, eng, func() bool { return n == 6 }, "writes")
+	var val uint64
+	done := false
+	d.Access(cpu.Load, base, 0, func(v uint64) { done = true; val = v })
+	run(t, eng, func() bool { return done }, "readback")
+	if val != 100 {
+		t.Errorf("readback = %d, want 100", val)
+	}
+}

@@ -1,0 +1,338 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 7 and 8): the Figure 2/3 locking sweeps, the
+// Table 4 barrier study, the Figure 6 commercial-workload runtimes, and
+// the Figure 7 traffic breakdowns. Each experiment runs the simulated
+// M-CMP system with pseudo-randomly perturbed seeds and reports means
+// with 95% confidence intervals (Alameldeen & Wood), exactly as the cmd/
+// tools and bench_test.go print them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tokencmp/internal/cpu"
+	"tokencmp/internal/machine"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/topo"
+	"tokencmp/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	Geom  topo.Geometry
+	Seeds int    // perturbed runs per configuration
+	Limit uint64 // event cap per run (0 = default)
+
+	// Workload scale knobs (smaller = faster benches).
+	Acquires    int // locking: acquires per processor
+	Barriers    int // barrier: rounds
+	TxnsPerProc int // commercial: transactions per processor
+
+	// Check enables the runtime coherence monitors (slower).
+	Check bool
+
+	// Commercial runs use scaled-down caches so the surrogates' working
+	// sets exert the same capacity pressure the full-size workloads put
+	// on the Table 3 hierarchy (simulation scaling, as in the paper's
+	// methodology lineage). Zero means the Table 3 sizes.
+	CommercialL1, CommercialL2Bank int
+
+	// effective per-run cache overrides (set by RunCommercial).
+	l1Size, l2BankSize int
+}
+
+// DefaultOptions returns the paper's target system (four 4-way CMPs)
+// with workload sizes suitable for full figure regeneration.
+func DefaultOptions() Options {
+	return Options{
+		Geom:             topo.NewGeometry(4, 4, 4),
+		Seeds:            3,
+		Acquires:         32,
+		Barriers:         10,
+		TxnsPerProc:      30,
+		CommercialL1:     16 << 10,
+		CommercialL2Bank: 64 << 10,
+	}
+}
+
+// run executes one workload on one protocol with one seed.
+func run(proto string, opt Options, seed int64, progs func(m *machine.Machine, s int64) []cpu.Program) (machine.Result, error) {
+	m, err := machine.New(machine.Config{
+		Protocol:         proto,
+		Geom:             opt.Geom,
+		Seed:             seed,
+		CheckConsistency: opt.Check,
+		AuditTokens:      opt.Check,
+		L1Size:           opt.l1Size,
+		L2BankSize:       opt.l2BankSize,
+	})
+	if err != nil {
+		return machine.Result{}, err
+	}
+	res, err := m.Run(progs(m, seed), opt.Limit)
+	if err != nil {
+		return res, fmt.Errorf("%s seed %d: %w", proto, seed, err)
+	}
+	return res, nil
+}
+
+// Cell is one measured configuration.
+type Cell struct {
+	Runtime stats.Sample // nanoseconds
+	Traffic stats.Traffic
+	Misses  uint64
+	Persist uint64
+}
+
+// runCell runs all seeds for a configuration.
+func runCell(proto string, opt Options, progs func(m *machine.Machine, s int64) []cpu.Program) (*Cell, error) {
+	c := &Cell{}
+	for s := 0; s < opt.Seeds; s++ {
+		res, err := run(proto, opt, int64(s+1), progs)
+		if err != nil {
+			return nil, err
+		}
+		c.Runtime.Add(float64(res.Runtime) / float64(sim.Nanosecond))
+		c.Traffic.Merge(&res.Traffic)
+		c.Misses += res.Misses
+		c.Persist += res.Persistent
+	}
+	return c, nil
+}
+
+// LockSweep is the Figure 2 / Figure 3 experiment.
+type LockSweep struct {
+	LockCounts []int
+	Protocols  []string
+	Cells      map[string][]*Cell // protocol → per lock count
+}
+
+// RunLockSweep measures the locking micro-benchmark across lock counts.
+func RunLockSweep(protocols []string, lockCounts []int, opt Options) (*LockSweep, error) {
+	out := &LockSweep{LockCounts: lockCounts, Protocols: protocols, Cells: map[string][]*Cell{}}
+	for _, proto := range protocols {
+		for _, locks := range lockCounts {
+			locks := locks
+			cell, err := runCell(proto, opt, func(m *machine.Machine, seed int64) []cpu.Program {
+				lc := workload.DefaultLocking(locks)
+				if opt.Acquires > 0 {
+					lc.Acquires = opt.Acquires
+				}
+				progs, _ := workload.LockingPrograms(lc, m.Cfg.Geom.TotalProcs(), seed)
+				return progs
+			})
+			if err != nil {
+				return nil, err
+			}
+			out.Cells[proto] = append(out.Cells[proto], cell)
+		}
+	}
+	return out, nil
+}
+
+// Baseline returns the normalization denominator: DirectoryCMP at the
+// largest (least contended) lock count, as in Figures 2 and 3.
+func (s *LockSweep) Baseline() float64 {
+	cells := s.Cells["DirectoryCMP"]
+	if len(cells) == 0 {
+		// Normalize against the first protocol instead.
+		cells = s.Cells[s.Protocols[0]]
+	}
+	return cells[len(cells)-1].Runtime.Mean()
+}
+
+// Render prints the normalized runtime series (one row per lock count).
+func (s *LockSweep) Render(w io.Writer, title string) {
+	base := s.Baseline()
+	fmt.Fprintf(w, "%s (runtime normalized to DirectoryCMP @ %d locks)\n", title, s.LockCounts[len(s.LockCounts)-1])
+	fmt.Fprintf(w, "%8s", "locks")
+	for _, p := range s.Protocols {
+		fmt.Fprintf(w, " %22s", p)
+	}
+	fmt.Fprintln(w)
+	for i, locks := range s.LockCounts {
+		fmt.Fprintf(w, "%8d", locks)
+		for _, p := range s.Protocols {
+			c := s.Cells[p][i]
+			fmt.Fprintf(w, " %14.3f ± %5.3f", c.Runtime.Mean()/base, c.Runtime.CI95()/base)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// BarrierTable is the Table 4 experiment.
+type BarrierTable struct {
+	Protocols []string
+	Fixed     map[string]*Cell // 3000 ns fixed work
+	Jittered  map[string]*Cell // 3000 ns ± U(1000)
+}
+
+// RunBarrierTable measures the barrier micro-benchmark.
+func RunBarrierTable(protocols []string, opt Options) (*BarrierTable, error) {
+	out := &BarrierTable{Protocols: protocols, Fixed: map[string]*Cell{}, Jittered: map[string]*Cell{}}
+	for _, proto := range protocols {
+		for _, jitter := range []sim.Time{0, sim.NS(1000)} {
+			jitter := jitter
+			cell, err := runCell(proto, opt, func(m *machine.Machine, seed int64) []cpu.Program {
+				bc := workload.DefaultBarrier(m.Cfg.Geom.TotalProcs(), jitter)
+				if opt.Barriers > 0 {
+					bc.Iterations = opt.Barriers
+				}
+				progs, _ := workload.BarrierPrograms(bc, seed)
+				return progs
+			})
+			if err != nil {
+				return nil, err
+			}
+			if jitter == 0 {
+				out.Fixed[proto] = cell
+			} else {
+				out.Jittered[proto] = cell
+			}
+		}
+	}
+	return out, nil
+}
+
+// Render prints Table 4 (normalized to DirectoryCMP).
+func (t *BarrierTable) Render(w io.Writer) {
+	baseF := t.Fixed["DirectoryCMP"].Runtime.Mean()
+	baseJ := t.Jittered["DirectoryCMP"].Runtime.Mean()
+	fmt.Fprintln(w, "Table 4: Barrier micro-benchmark runtime (normalized to DirectoryCMP)")
+	fmt.Fprintf(w, "%-22s %16s %22s\n", "Protocol", "3000ns fixed", "3000ns + U(-1k,+1k)")
+	for _, p := range t.Protocols {
+		fmt.Fprintf(w, "%-22s %16.2f %22.2f\n", p,
+			t.Fixed[p].Runtime.Mean()/baseF, t.Jittered[p].Runtime.Mean()/baseJ)
+	}
+}
+
+// Commercial is the Figure 6 + Figure 7 experiment.
+type Commercial struct {
+	Workloads []string
+	Protocols []string
+	Cells     map[string]map[string]*Cell // workload → protocol → cell
+}
+
+// CommercialParamsFor returns the surrogate parameters by name.
+func CommercialParamsFor(name string) (workload.CommercialParams, error) {
+	switch name {
+	case "OLTP":
+		return workload.OLTP(), nil
+	case "Apache":
+		return workload.Apache(), nil
+	case "SPECjbb":
+		return workload.SPECjbb(), nil
+	}
+	return workload.CommercialParams{}, fmt.Errorf("unknown workload %q", name)
+}
+
+// RunCommercial measures the commercial surrogates on all protocols.
+func RunCommercial(workloads, protocols []string, opt Options) (*Commercial, error) {
+	out := &Commercial{Workloads: workloads, Protocols: protocols, Cells: map[string]map[string]*Cell{}}
+	for _, wl := range workloads {
+		params, err := CommercialParamsFor(wl)
+		if err != nil {
+			return nil, err
+		}
+		if opt.TxnsPerProc > 0 {
+			params.TxnsPerProc = opt.TxnsPerProc
+		}
+		out.Cells[wl] = map[string]*Cell{}
+		opt.l1Size = opt.CommercialL1
+		opt.l2BankSize = opt.CommercialL2Bank
+		for _, proto := range protocols {
+			cell, err := runCell(proto, opt, func(m *machine.Machine, seed int64) []cpu.Program {
+				progs, _ := workload.CommercialPrograms(params, m.Cfg.Geom.TotalProcs(), seed)
+				return progs
+			})
+			if err != nil {
+				return nil, err
+			}
+			out.Cells[wl][proto] = cell
+		}
+	}
+	return out, nil
+}
+
+// RenderRuntime prints Figure 6 (runtime normalized to DirectoryCMP,
+// with the speedup the paper quotes: runtime(Dir)/runtime(Token) - 1).
+func (c *Commercial) RenderRuntime(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6: Commercial workload runtime (normalized to DirectoryCMP)")
+	fmt.Fprintf(w, "%-22s", "Protocol")
+	for _, wl := range c.Workloads {
+		fmt.Fprintf(w, " %18s", wl)
+	}
+	fmt.Fprintln(w)
+	for _, p := range c.Protocols {
+		fmt.Fprintf(w, "%-22s", p)
+		for _, wl := range c.Workloads {
+			base := c.Cells[wl]["DirectoryCMP"].Runtime.Mean()
+			cell := c.Cells[wl][p]
+			fmt.Fprintf(w, " %10.3f ±%5.3f", cell.Runtime.Mean()/base, cell.Runtime.CI95()/base)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\nSpeedup vs DirectoryCMP (runtime(Dir)/runtime(X) - 1):")
+	for _, p := range c.Protocols {
+		if p == "DirectoryCMP" {
+			continue
+		}
+		fmt.Fprintf(w, "%-22s", p)
+		for _, wl := range c.Workloads {
+			base := c.Cells[wl]["DirectoryCMP"].Runtime.Mean()
+			cell := c.Cells[wl][p]
+			fmt.Fprintf(w, " %17.1f%%", (base/cell.Runtime.Mean()-1)*100)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderTraffic prints Figure 7a (inter-CMP) or 7b (intra-CMP): bytes by
+// message class, normalized to DirectoryCMP's total at that level.
+func (c *Commercial) RenderTraffic(w io.Writer, level stats.Level) {
+	name := "Figure 7a: Inter-CMP traffic"
+	if level == stats.IntraCMP {
+		name = "Figure 7b: Intra-CMP traffic"
+	}
+	fmt.Fprintf(w, "%s (bytes by message type, normalized to DirectoryCMP total)\n", name)
+	for _, wl := range c.Workloads {
+		base := float64(c.Cells[wl]["DirectoryCMP"].Traffic.TotalBytes(level))
+		fmt.Fprintf(w, "\n[%s]\n%-22s %9s", wl, "Protocol", "total")
+		for cl := stats.TrafficClass(0); cl < stats.NumTrafficClasses; cl++ {
+			fmt.Fprintf(w, " %19s", cl)
+		}
+		fmt.Fprintln(w)
+		for _, p := range c.Protocols {
+			tr := c.Cells[wl][p].Traffic
+			fmt.Fprintf(w, "%-22s %9.3f", p, float64(tr.TotalBytes(level))/base)
+			for cl := stats.TrafficClass(0); cl < stats.NumTrafficClasses; cl++ {
+				fmt.Fprintf(w, " %19.3f", float64(tr.Bytes[level][cl])/base)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// PersistentFraction reports persistent requests as a share of L1 misses
+// (the paper: < 0.3% for all macro workloads).
+func (c *Commercial) PersistentFraction(wl, proto string) float64 {
+	cell := c.Cells[wl][proto]
+	if cell.Misses == 0 {
+		return 0
+	}
+	return float64(cell.Persist) / float64(cell.Misses)
+}
+
+// SortedProtocols returns protocols in machine.Protocols order filtered
+// to those present.
+func SortedProtocols(m map[string]*Cell) []string {
+	var out []string
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,165 @@
+// Package mc is an explicit-state model checker reproducing the paper's
+// Section 5 verification study. It exhaustively enumerates the reachable
+// states of small protocol configurations (the paper's TLA+/TLC role),
+// checking:
+//
+//   - safety invariants in every reachable state (token conservation,
+//     the coherence invariant, and a serial view of memory);
+//   - deadlock freedom (every non-quiescent state has a successor);
+//   - starvation freedom as the CTL property AG(pending → EF satisfied),
+//     decided by backward reachability over the explored state graph —
+//     under fair scheduling this implies every persistent request is
+//     eventually satisfied.
+//
+// Because the token models drive the performance-policy interface
+// nondeterministically (any holder may spill any tokens toward any cache
+// at any time), verifying them covers all possible performance policies,
+// which is the paper's central verification argument.
+package mc
+
+import (
+	"fmt"
+	"time"
+)
+
+// Model is an encoded-state transition system.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Initial returns the initial states (encoded).
+	Initial() []string
+	// Successors expands a state.
+	Successors(s string) []string
+	// Check validates safety invariants; a non-nil error is a violation.
+	Check(s string) error
+	// Quiescent reports whether a state is allowed to have no successors.
+	Quiescent(s string) bool
+	// Pending reports whether the state has an outstanding request that
+	// must eventually be satisfied.
+	Pending(s string) bool
+	// Satisfying reports whether the state satisfies all requests.
+	Satisfying(s string) bool
+}
+
+// Result summarizes one model-checking run.
+type Result struct {
+	Model       string
+	States      int
+	Transitions int
+	Diameter    int
+	Elapsed     time.Duration
+
+	Violation  error  // first safety violation, if any
+	BadState   string // the violating state
+	Deadlock   string // first deadlocked state, if any
+	Starvation string // first pending state that cannot reach satisfaction
+}
+
+// OK reports whether every property held.
+func (r *Result) OK() bool {
+	return r.Violation == nil && r.Deadlock == "" && r.Starvation == ""
+}
+
+func (r *Result) String() string {
+	status := "PASS"
+	detail := ""
+	switch {
+	case r.Violation != nil:
+		status = "FAIL"
+		detail = fmt.Sprintf(" violation: %v", r.Violation)
+	case r.Deadlock != "":
+		status = "FAIL"
+		detail = " deadlock"
+	case r.Starvation != "":
+		status = "FAIL"
+		detail = " starvation"
+	}
+	return fmt.Sprintf("%-28s %s states=%d transitions=%d diameter=%d elapsed=%v%s",
+		r.Model, status, r.States, r.Transitions, r.Diameter, r.Elapsed, detail)
+}
+
+// Check exhaustively explores model up to limit states (0 = 5,000,000).
+func Check(m Model, limit int) *Result {
+	if limit <= 0 {
+		limit = 5_000_000
+	}
+	start := time.Now()
+	res := &Result{Model: m.Name()}
+
+	type nodeInfo struct {
+		idx   int
+		depth int
+	}
+	seen := make(map[string]nodeInfo)
+	var states []string
+	var frontier []string
+	var preds [][]int32 // predecessor adjacency for backward reachability
+
+	push := func(s string, depth int) int {
+		if ni, ok := seen[s]; ok {
+			return ni.idx
+		}
+		idx := len(states)
+		seen[s] = nodeInfo{idx: idx, depth: depth}
+		states = append(states, s)
+		preds = append(preds, nil)
+		frontier = append(frontier, s)
+		if depth > res.Diameter {
+			res.Diameter = depth
+		}
+		return idx
+	}
+	for _, s := range m.Initial() {
+		push(s, 0)
+	}
+
+	for len(frontier) > 0 && len(states) <= limit {
+		s := frontier[0]
+		frontier = frontier[1:]
+		ni := seen[s]
+
+		if err := m.Check(s); err != nil && res.Violation == nil {
+			res.Violation = err
+			res.BadState = s
+		}
+		succs := m.Successors(s)
+		if len(succs) == 0 && !m.Quiescent(s) && res.Deadlock == "" {
+			res.Deadlock = s
+		}
+		for _, t := range succs {
+			res.Transitions++
+			ti := push(t, ni.depth+1)
+			preds[ti] = append(preds[ti], int32(ni.idx))
+		}
+	}
+	res.States = len(states)
+
+	// Starvation check: backward reachability from satisfying states.
+	canReach := make([]bool, len(states))
+	var stack []int32
+	for i, s := range states {
+		if m.Satisfying(s) {
+			canReach[i] = true
+			stack = append(stack, int32(i))
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range preds[i] {
+			if !canReach[p] {
+				canReach[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	for i, s := range states {
+		if m.Pending(s) && !canReach[i] {
+			res.Starvation = s
+			break
+		}
+	}
+
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,47 @@
+package mc
+
+import (
+	"testing"
+
+	"tokencmp/internal/mc/models"
+)
+
+func TestTokenSafetyOnly(t *testing.T) {
+	res := Check(models.NewTokenModel(models.DefaultTokenConfig(models.SafetyOnly)), 0)
+	t.Log(res)
+	if !res.OK() {
+		t.Fatalf("safety-only model failed: %v", res)
+	}
+}
+
+func TestTokenDistributed(t *testing.T) {
+	cfg := models.DefaultTokenConfig(models.DistributedAct)
+	if testing.Short() {
+		cfg.T = 3
+	}
+	res := Check(models.NewTokenModel(cfg), 0)
+	t.Log(res)
+	if !res.OK() {
+		t.Fatalf("distributed model failed: %v", res)
+	}
+}
+
+func TestTokenArbiter(t *testing.T) {
+	cfg := models.DefaultTokenConfig(models.ArbiterAct)
+	if testing.Short() {
+		cfg.T = 3
+	}
+	res := Check(models.NewTokenModel(cfg), 0)
+	t.Log(res)
+	if !res.OK() {
+		t.Fatalf("arbiter model failed: %v", res)
+	}
+}
+
+func TestDirectoryFlat(t *testing.T) {
+	res := Check(models.DefaultDirModel(), 0)
+	t.Log(res)
+	if !res.OK() {
+		t.Fatalf("flat directory model failed: %v", res)
+	}
+}

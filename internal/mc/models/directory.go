@@ -1,0 +1,411 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DirModel is the simplified, non-hierarchical directory protocol the
+// paper checks against the token substrate: a blocking MSI directory
+// with explicit forward, invalidation, acknowledgment, data, unblock,
+// and three-phase writeback messages. All intra-CMP detail is omitted,
+// exactly as in the paper (a full hierarchical model is intractable).
+type DirModel struct {
+	caches  int
+	maxMsgs int
+	decode  map[string]*dstate
+}
+
+// dcache is one cache's view: MSI state plus the data-independence bit.
+type dcache struct {
+	St      int // 0=I 1=S 2=M
+	Current bool
+	Out     int // outstanding request: 0 none, 1 GetS, 2 GetM
+	Acks    int // invalidation acks still owed to this requester
+	WaitWB  bool
+}
+
+// dmsg is one in-flight protocol message.
+type dmsg struct {
+	Kind int // message kinds below
+	To   int // destination cache (or -1 for the directory)
+	P    int // subject processor (requester / evictor)
+	Cur  bool
+	Acks int
+	Excl bool // data grants M
+}
+
+// Directory-model message kinds.
+const (
+	dGetS = iota
+	dGetM
+	dFwdS // directory → owner: degrade and send data
+	dFwdM // directory → owner: invalidate and send data
+	dInv
+	dAck
+	dData
+	dUnblock
+	dPut
+	dWbGrant
+	dWbData
+)
+
+// dstate is a full model state.
+type dstate struct {
+	C       []dcache
+	Msgs    []dmsg
+	Owner   int // owning cache or -1 (memory)
+	Sharers uint32
+	MemCur  bool
+	Busy    int // processor whose transaction holds the directory, or -1
+	BusyOwn int // owner when the current transaction started (-1 memory)
+	BusyWB  bool
+}
+
+// NewDirModel builds the flat directory model.
+func NewDirModel(caches, maxMsgs int) *DirModel {
+	return &DirModel{caches: caches, maxMsgs: maxMsgs, decode: make(map[string]*dstate)}
+}
+
+// DefaultDirModel mirrors the token models' scale.
+func DefaultDirModel() *DirModel { return NewDirModel(3, 3) }
+
+// Name implements mc.Model.
+func (m *DirModel) Name() string { return "DirectoryCMP-flat" }
+
+func (m *DirModel) encode(s *dstate) string {
+	msgs := append([]dmsg{}, s.Msgs...)
+	sort.Slice(msgs, func(i, j int) bool { return fmt.Sprint(msgs[i]) < fmt.Sprint(msgs[j]) })
+	var b strings.Builder
+	fmt.Fprintf(&b, "C%v M%v O%d S%b mc%v B%d o%d W%v", s.C, msgs, s.Owner, s.Sharers, s.MemCur, s.Busy, s.BusyOwn, s.BusyWB)
+	key := b.String()
+	if _, ok := m.decode[key]; !ok {
+		m.decode[key] = &dstate{
+			C: append([]dcache{}, s.C...), Msgs: msgs, Owner: s.Owner,
+			Sharers: s.Sharers, MemCur: s.MemCur, Busy: s.Busy, BusyOwn: s.BusyOwn, BusyWB: s.BusyWB,
+		}
+	}
+	return key
+}
+
+func (m *DirModel) clone(s *dstate) *dstate {
+	return &dstate{
+		C: append([]dcache{}, s.C...), Msgs: append([]dmsg{}, s.Msgs...),
+		Owner: s.Owner, Sharers: s.Sharers, MemCur: s.MemCur, Busy: s.Busy,
+		BusyOwn: s.BusyOwn, BusyWB: s.BusyWB,
+	}
+}
+
+// Initial implements mc.Model.
+func (m *DirModel) Initial() []string {
+	s := &dstate{C: make([]dcache, m.caches), Owner: -1, MemCur: true, Busy: -1, BusyOwn: -1}
+	return []string{m.encode(s)}
+}
+
+// payloadCount counts bounded messages: requests and puts model the
+// directory's input queue, which holds at most one entry per processor
+// and therefore needs no separate bound.
+func payloadCount(s *dstate) int {
+	n := 0
+	for _, m := range s.Msgs {
+		if m.Kind != dGetS && m.Kind != dGetM && m.Kind != dPut {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *DirModel) send(s *dstate, msg dmsg) bool {
+	if msg.Kind != dGetS && msg.Kind != dGetM && msg.Kind != dPut && payloadCount(s) >= m.maxMsgs {
+		return false
+	}
+	s.Msgs = append(s.Msgs, msg)
+	return true
+}
+
+// Successors implements mc.Model.
+func (m *DirModel) Successors(key string) []string {
+	s := m.decode[key]
+	var out []string
+	emit := func(n *dstate) { out = append(out, m.encode(n)) }
+
+	// 1. Processors issue requests and stores, and M caches may evict.
+	for p := 0; p < m.caches; p++ {
+		c := s.C[p]
+		if c.Out == 0 && !c.WaitWB {
+			if c.St == 0 { // I: may want to read or write
+				for _, kind := range []int{dGetS, dGetM} {
+					n := m.clone(s)
+					if kind == dGetS {
+						n.C[p].Out = 1
+					} else {
+						n.C[p].Out = 2
+					}
+					if m.send(n, dmsg{Kind: kind, To: -1, P: p}) {
+						emit(n)
+					}
+				}
+			}
+			if c.St == 1 { // S: may upgrade
+				n := m.clone(s)
+				n.C[p].Out = 2
+				if m.send(n, dmsg{Kind: dGetM, To: -1, P: p}) {
+					emit(n)
+				}
+			}
+			if c.St == 2 { // M: store or write back
+				n := m.clone(s)
+				m.store(n, p)
+				emit(n)
+				n2 := m.clone(s)
+				n2.C[p].WaitWB = true
+				if m.send(n2, dmsg{Kind: dPut, To: -1, P: p}) {
+					emit(n2)
+				}
+			}
+		}
+	}
+
+	// 2. Message deliveries.
+	for k := range s.Msgs {
+		msg := s.Msgs[k]
+		n := m.clone(s)
+		n.Msgs = append(n.Msgs[:k], n.Msgs[k+1:]...)
+		switch msg.Kind {
+		case dGetS, dGetM:
+			if s.Busy != -1 || s.BusyWB {
+				continue // blocking directory: the request stays queued
+			}
+			m.dirAccept(n, msg, emit)
+			continue
+		case dPut:
+			if s.Busy != -1 || s.BusyWB {
+				continue
+			}
+			n.Busy = msg.P
+			n.BusyWB = true
+			if m.send(n, dmsg{Kind: dWbGrant, To: msg.P, P: msg.P}) {
+				emit(n)
+			}
+			continue
+		case dFwdS:
+			c := n.C[msg.To]
+			if c.St == 2 {
+				n.C[msg.To].St = 1
+				if !m.send(n, dmsg{Kind: dData, To: msg.P, P: msg.P, Cur: c.Current, Acks: 0}) {
+					continue
+				}
+				n.MemCur = c.Current // data also written through to memory
+			} else if c.St == 1 {
+				// Already degraded by a raced transaction; serve from the
+				// surviving copy.
+				if !m.send(n, dmsg{Kind: dData, To: msg.P, P: msg.P, Cur: c.Current}) {
+					continue
+				}
+				n.MemCur = c.Current
+			} else {
+				continue
+			}
+		case dFwdM:
+			c := n.C[msg.To]
+			cur := c.Current
+			n.C[msg.To] = dcache{WaitWB: c.WaitWB}
+			if !m.send(n, dmsg{Kind: dData, To: msg.P, P: msg.P, Cur: cur, Acks: msg.Acks, Excl: true}) {
+				continue
+			}
+		case dInv:
+			c := n.C[msg.To]
+			n.C[msg.To] = dcache{Out: c.Out, Acks: c.Acks, WaitWB: c.WaitWB}
+			if !m.send(n, dmsg{Kind: dAck, To: msg.P, P: msg.P}) {
+				continue
+			}
+		case dAck:
+			n.C[msg.To].Acks--
+			m.maybeComplete(n, msg.To)
+		case dData:
+			c := &n.C[msg.To]
+			c.Current = msg.Cur
+			if msg.Excl {
+				c.St = 2
+				c.Acks += msg.Acks
+				c.hasDataPending()
+			} else {
+				c.St = 1
+			}
+			m.maybeComplete(n, msg.To)
+		case dUnblock:
+			// Directory transaction closes; the requester reported its
+			// resulting state via Excl.
+			if msg.Excl {
+				n.Owner = msg.P
+				n.Sharers = 0
+			} else {
+				n.Sharers |= 1 << uint(msg.P)
+				if n.BusyOwn >= 0 {
+					// A forward degraded the old owner to a sharer and
+					// wrote the data through to memory.
+					n.Sharers |= 1 << uint(n.BusyOwn)
+					n.Owner = -1
+				}
+			}
+			n.Busy = -1
+			n.BusyOwn = -1
+		case dWbGrant:
+			c := n.C[msg.To]
+			if c.St == 2 {
+				if !m.send(n, dmsg{Kind: dWbData, To: -1, P: msg.P, Cur: c.Current}) {
+					continue
+				}
+				n.C[msg.To] = dcache{}
+			} else {
+				// Copy consumed by a racing forward: cancel.
+				if !m.send(n, dmsg{Kind: dWbData, To: -1, P: msg.P, Cur: false, Excl: true /*cancel*/}) {
+					continue
+				}
+				n.C[msg.To].WaitWB = false
+			}
+		case dWbData:
+			if !msg.Excl {
+				// Data written back: the evictor gives up its copy.
+				n.MemCur = msg.Cur
+				if n.Owner == msg.P {
+					n.Owner = -1
+				}
+				n.Sharers &^= 1 << uint(msg.P)
+				n.C[msg.P].WaitWB = false
+			}
+			// A cancelled writeback leaves the directory untouched: the
+			// copy either survives as a sharer (degraded by a racing
+			// forward) or was consumed by a transaction that already
+			// updated the directory at its unblock.
+			n.Busy = -1
+			n.BusyWB = false
+		}
+		emit(n)
+	}
+	return out
+}
+
+// hasDataPending is a no-op marker kept for readability of the dData
+// handler (the acks counter alone decides completion).
+func (c *dcache) hasDataPending() {}
+
+// store performs processor p's write: its copy becomes the single
+// current one; every other copy and the memory image go stale. A racing
+// readable copy then trips the serial-view check.
+func (m *DirModel) store(n *dstate, p int) {
+	for q := range n.C {
+		n.C[q].Current = q == p
+	}
+	n.MemCur = false
+}
+
+// dirAccept starts a directory transaction for a GetS/GetM.
+func (m *DirModel) dirAccept(n *dstate, msg dmsg, emit func(*dstate)) {
+	p := msg.P
+	n.Busy = p
+	n.BusyOwn = n.Owner
+	if msg.Kind == dGetS {
+		if n.Owner == -1 {
+			if !m.send(n, dmsg{Kind: dData, To: p, P: p, Cur: n.MemCur}) {
+				return
+			}
+		} else {
+			if !m.send(n, dmsg{Kind: dFwdS, To: n.Owner, P: p}) {
+				return
+			}
+		}
+		emit(n)
+		return
+	}
+	// GetM: invalidate sharers (acks to the requester) and supply data.
+	acks := 0
+	shr := n.Sharers &^ (1 << uint(p))
+	var invs []dmsg
+	for q := 0; q < m.caches; q++ {
+		if shr&(1<<uint(q)) != 0 {
+			acks++
+			invs = append(invs, dmsg{Kind: dInv, To: q, P: p})
+		}
+	}
+	if payloadCount(n)+len(invs)+1 > m.maxMsgs {
+		return // bounded-network throttling; the request stays queued
+	}
+	n.Msgs = append(n.Msgs, invs...)
+	n.C[p].Acks += acks
+	switch {
+	case n.Owner == -1:
+		if !m.send(n, dmsg{Kind: dData, To: p, P: p, Cur: n.MemCur, Excl: true}) {
+			return
+		}
+	case n.Owner == p:
+		if !m.send(n, dmsg{Kind: dData, To: p, P: p, Cur: n.C[p].Current, Excl: true}) {
+			return
+		}
+	default:
+		if !m.send(n, dmsg{Kind: dFwdM, To: n.Owner, P: p}) {
+			return
+		}
+	}
+	emit(n)
+}
+
+// maybeComplete finishes a requester's transaction when data and all
+// acks have arrived.
+func (m *DirModel) maybeComplete(n *dstate, p int) {
+	c := &n.C[p]
+	if c.Out == 0 || c.Acks > 0 {
+		return
+	}
+	switch {
+	case c.Out == 1 && c.St == 1:
+		c.Out = 0
+		m.send(n, dmsg{Kind: dUnblock, To: -1, P: p, Excl: false})
+	case c.Out == 2 && c.St == 2:
+		c.Out = 0
+		m.store(n, p) // the store happens on completion
+		m.send(n, dmsg{Kind: dUnblock, To: -1, P: p, Excl: true})
+	}
+}
+
+// Check implements mc.Model.
+func (m *DirModel) Check(key string) error {
+	s := m.decode[key]
+	writers := 0
+	for i, c := range s.C {
+		if c.St == 2 {
+			writers++
+			if !c.Current {
+				return fmt.Errorf("cache %d modifiable with stale data", i)
+			}
+		}
+		if c.St == 1 && !c.Current {
+			return fmt.Errorf("cache %d readable with stale data (serial view violated)", i)
+		}
+	}
+	if writers > 1 {
+		return fmt.Errorf("coherence invariant violated: %d writers", writers)
+	}
+	return nil
+}
+
+// Quiescent implements mc.Model.
+func (m *DirModel) Quiescent(key string) bool {
+	s := m.decode[key]
+	return len(s.Msgs) == 0 && !m.Pending(key) && s.Busy == -1
+}
+
+// Pending implements mc.Model.
+func (m *DirModel) Pending(key string) bool {
+	s := m.decode[key]
+	for _, c := range s.C {
+		if c.Out != 0 || c.WaitWB {
+			return true
+		}
+	}
+	return false
+}
+
+// Satisfying implements mc.Model.
+func (m *DirModel) Satisfying(key string) bool { return !m.Pending(key) }

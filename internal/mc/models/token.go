@@ -1,0 +1,409 @@
+// Package models contains the downscaled protocol models checked by
+// internal/mc, mirroring the paper's Section 5 TLA+ models: three
+// versions of the token-coherence correctness substrate (arbiter
+// activation, distributed activation, and safety-only) and a simplified
+// flat directory protocol.
+//
+// The token models drive the performance-policy interface
+// nondeterministically — any holder may spill any of its tokens toward
+// any cache at any time — so the verification covers every possible
+// performance policy, hierarchical ones included. Data values use the
+// data-independence abstraction (Wolper): each copy carries a single
+// "current" bit; a store makes the writer's copy current, and the serial
+// view of memory holds iff every readable copy is current.
+package models
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Activation selects the starvation-avoidance mechanism modeled.
+type Activation int
+
+// Activation mechanisms (SafetyOnly omits persistent requests entirely,
+// like the paper's TokenCMP-safety model).
+const (
+	ArbiterAct Activation = iota
+	DistributedAct
+	SafetyOnly
+)
+
+// TokenConfig sizes the token-substrate model.
+type TokenConfig struct {
+	Caches   int // caches with processors (memory is an extra holder)
+	T        int // tokens per block
+	MaxMsgs  int // in-flight message bound
+	Activate Activation
+}
+
+// DefaultTokenConfig is a small but non-trivial configuration: three
+// caches plus memory, four tokens, two in-flight messages.
+func DefaultTokenConfig(a Activation) TokenConfig {
+	return TokenConfig{Caches: 3, T: 4, MaxMsgs: 2, Activate: a}
+}
+
+// holder is one token-holding site (a cache or the memory).
+type holder struct {
+	Tokens  int
+	Owner   bool
+	HasData bool
+	Current bool
+}
+
+// tmsg is one in-flight substrate message.
+type tmsg struct {
+	Tokens  int
+	Owner   bool
+	HasData bool
+	Current bool
+	Dst     int
+}
+
+// preq is one persistent-request table entry (distributed) or queue
+// element (arbiter).
+type preq struct {
+	Valid  bool
+	Write  bool
+	Marked bool // distributed marking mechanism
+}
+
+// tstate is a full model state. Holders[Caches] is the memory.
+type tstate struct {
+	Holders []holder
+	Msgs    []tmsg
+	Reqs    []preq // per processor
+	ArbQ    []int  // arbiter FIFO (processor indices); ArbQ[0] is active
+}
+
+// TokenModel is the substrate transition system.
+type TokenModel struct {
+	cfg    TokenConfig
+	decode map[string]*tstate
+}
+
+// NewTokenModel builds a model for cfg.
+func NewTokenModel(cfg TokenConfig) *TokenModel {
+	return &TokenModel{cfg: cfg, decode: make(map[string]*tstate)}
+}
+
+// Name implements mc.Model.
+func (m *TokenModel) Name() string {
+	switch m.cfg.Activate {
+	case ArbiterAct:
+		return "TokenCMP-arb"
+	case DistributedAct:
+		return "TokenCMP-dst"
+	default:
+		return "TokenCMP-safety"
+	}
+}
+
+func (m *TokenModel) mem() int { return m.cfg.Caches }
+
+func (m *TokenModel) encode(s *tstate) string {
+	// Canonicalize message order so states differing only by message
+	// permutation collapse.
+	msgs := append([]tmsg{}, s.Msgs...)
+	sort.Slice(msgs, func(i, j int) bool {
+		return fmt.Sprint(msgs[i]) < fmt.Sprint(msgs[j])
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "H%v M%v R%v Q%v", s.Holders, msgs, s.Reqs, s.ArbQ)
+	key := b.String()
+	if _, ok := m.decode[key]; !ok {
+		cp := &tstate{
+			Holders: append([]holder{}, s.Holders...),
+			Msgs:    msgs,
+			Reqs:    append([]preq{}, s.Reqs...),
+			ArbQ:    append([]int{}, s.ArbQ...),
+		}
+		m.decode[key] = cp
+	}
+	return key
+}
+
+func (m *TokenModel) clone(s *tstate) *tstate {
+	return &tstate{
+		Holders: append([]holder{}, s.Holders...),
+		Msgs:    append([]tmsg{}, s.Msgs...),
+		Reqs:    append([]preq{}, s.Reqs...),
+		ArbQ:    append([]int{}, s.ArbQ...),
+	}
+}
+
+// Initial implements mc.Model: all tokens at memory with current data.
+func (m *TokenModel) Initial() []string {
+	s := &tstate{
+		Holders: make([]holder, m.cfg.Caches+1),
+		Reqs:    make([]preq, m.cfg.Caches),
+	}
+	s.Holders[m.mem()] = holder{Tokens: m.cfg.T, Owner: true, HasData: true, Current: true}
+	return []string{m.encode(s)}
+}
+
+// canRead reports read permission at holder i.
+func canRead(h holder) bool { return h.Tokens >= 1 && h.HasData }
+
+// canWrite reports write permission at holder i given T.
+func canWrite(h holder, t int) bool { return h.Tokens == t && h.HasData }
+
+// activeReq returns the processor whose persistent request is activated.
+func (m *TokenModel) activeReq(s *tstate) (int, bool) {
+	switch m.cfg.Activate {
+	case DistributedAct:
+		for p := range s.Reqs {
+			if s.Reqs[p].Valid {
+				return p, true // fixed priority: lowest index
+			}
+		}
+	case ArbiterAct:
+		if len(s.ArbQ) > 0 {
+			return s.ArbQ[0], true
+		}
+	}
+	return 0, false
+}
+
+// Successors implements mc.Model.
+func (m *TokenModel) Successors(key string) []string {
+	s := m.decode[key]
+	var out []string
+	emit := func(n *tstate) { out = append(out, m.encode(n)) }
+	T := m.cfg.T
+
+	// 1. Performance policy: any holder may send one token or all of its
+	// tokens to any other site. Owner-token messages must carry data.
+	for i := range s.Holders {
+		h := s.Holders[i]
+		if h.Tokens == 0 || len(s.Msgs) >= m.cfg.MaxMsgs {
+			continue
+		}
+		for j := range s.Holders {
+			if j == i {
+				continue
+			}
+			// Send everything.
+			n := m.clone(s)
+			n.Holders[i] = holder{}
+			n.Msgs = append(n.Msgs, tmsg{Tokens: h.Tokens, Owner: h.Owner, HasData: h.HasData, Current: h.Current, Dst: j})
+			emit(n)
+			// Send a single non-owner token without data.
+			if h.Tokens >= 2 || (h.Tokens == 1 && !h.Owner) {
+				n := m.clone(s)
+				nh := h
+				nh.Tokens--
+				if nh.Tokens == 0 {
+					nh.HasData = false
+					nh.Current = false
+				}
+				n.Holders[i] = nh
+				n.Msgs = append(n.Msgs, tmsg{Tokens: 1, Dst: j})
+				emit(n)
+			}
+		}
+	}
+
+	// 2. Message delivery merges payload into the destination.
+	for k := range s.Msgs {
+		n := m.clone(s)
+		msg := n.Msgs[k]
+		n.Msgs = append(n.Msgs[:k], n.Msgs[k+1:]...)
+		h := n.Holders[msg.Dst]
+		h.Tokens += msg.Tokens
+		if msg.Owner {
+			h.Owner = true
+		}
+		if msg.HasData {
+			h.HasData = true
+			h.Current = msg.Current
+		}
+		n.Holders[msg.Dst] = h
+		emit(n)
+	}
+
+	// 3. Processor stores: a cache with all T tokens may write, making
+	// its copy the (only) current one.
+	for p := 0; p < m.cfg.Caches; p++ {
+		if canWrite(s.Holders[p], T) {
+			n := m.clone(s)
+			n.Holders[p].Current = true
+			emit(n)
+		}
+	}
+
+	if m.cfg.Activate == SafetyOnly {
+		return out
+	}
+
+	// 4. Persistent request issue (one per processor; the distributed
+	// marking mechanism gates re-issue until marked entries drain).
+	for p := 0; p < m.cfg.Caches; p++ {
+		if s.Reqs[p].Valid {
+			continue
+		}
+		if m.cfg.Activate == DistributedAct {
+			blockedByMark := false
+			for q := range s.Reqs {
+				if s.Reqs[q].Valid && s.Reqs[q].Marked {
+					blockedByMark = true
+				}
+			}
+			if blockedByMark {
+				continue
+			}
+		}
+		for _, write := range []bool{false, true} {
+			n := m.clone(s)
+			n.Reqs[p] = preq{Valid: true, Write: write}
+			if m.cfg.Activate == ArbiterAct {
+				n.ArbQ = append(n.ArbQ, p)
+			}
+			emit(n)
+		}
+	}
+
+	// 5. Forwarding obligation: while processor a's request is activated,
+	// any other holder forwards its tokens — everything for a write;
+	// all-but-one (owner with data travels) for a read.
+	if a, ok := m.activeReq(s); ok {
+		req := s.Reqs[a]
+		for i := range s.Holders {
+			if i == a || s.Holders[i].Tokens == 0 || len(s.Msgs) >= m.cfg.MaxMsgs {
+				continue
+			}
+			h := s.Holders[i]
+			n := m.clone(s)
+			isMem := i == m.mem()
+			switch {
+			case req.Write || isMem:
+				n.Holders[i] = holder{}
+				n.Msgs = append(n.Msgs, tmsg{Tokens: h.Tokens, Owner: h.Owner, HasData: h.HasData, Current: h.Current, Dst: a})
+			case h.Owner:
+				give := h.Tokens - 1
+				if give < 1 {
+					give = h.Tokens
+				}
+				nh := h
+				nh.Tokens -= give
+				nh.Owner = false
+				if nh.Tokens == 0 {
+					nh.HasData = false
+					nh.Current = false
+				}
+				n.Holders[i] = nh
+				n.Msgs = append(n.Msgs, tmsg{Tokens: give, Owner: true, HasData: true, Current: h.Current, Dst: a})
+			case h.Tokens >= 2:
+				nh := h
+				nh.Tokens = 1
+				n.Holders[i] = nh
+				n.Msgs = append(n.Msgs, tmsg{Tokens: h.Tokens - 1, Dst: a})
+			default:
+				continue
+			}
+			emit(n)
+		}
+	}
+
+	// 6. Persistent request completion: the initiator deactivates once it
+	// has sufficient tokens. Under distributed activation it marks the
+	// remaining entries (the wave mechanism).
+	for p := 0; p < m.cfg.Caches; p++ {
+		if !s.Reqs[p].Valid {
+			continue
+		}
+		h := s.Holders[p]
+		satisfied := (s.Reqs[p].Write && canWrite(h, T)) || (!s.Reqs[p].Write && canRead(h))
+		if !satisfied {
+			continue
+		}
+		n := m.clone(s)
+		if n.Reqs[p].Write {
+			n.Holders[p].Current = true // the store happens
+		}
+		n.Reqs[p] = preq{}
+		if m.cfg.Activate == DistributedAct {
+			for q := range n.Reqs {
+				if n.Reqs[q].Valid {
+					n.Reqs[q].Marked = true
+				}
+			}
+		} else {
+			// Arbiter: remove from the queue (active or not).
+			for qi, qp := range n.ArbQ {
+				if qp == p {
+					n.ArbQ = append(n.ArbQ[:qi:qi], n.ArbQ[qi+1:]...)
+					break
+				}
+			}
+		}
+		emit(n)
+	}
+
+	return out
+}
+
+// Check implements mc.Model: token conservation, one owner, the
+// coherence invariant, and the serial view of memory.
+func (m *TokenModel) Check(key string) error {
+	s := m.decode[key]
+	tokens, owners, writers := 0, 0, 0
+	for i, h := range s.Holders {
+		tokens += h.Tokens
+		if h.Owner {
+			owners++
+			if !h.HasData {
+				return fmt.Errorf("holder %d has the owner token without data", i)
+			}
+		}
+		if h.Tokens == m.cfg.T {
+			writers++
+		}
+		if canRead(h) && !h.Current {
+			return fmt.Errorf("holder %d readable with stale data (serial view violated)", i)
+		}
+	}
+	for _, msg := range s.Msgs {
+		tokens += msg.Tokens
+		if msg.Owner {
+			owners++
+			if !msg.HasData {
+				return fmt.Errorf("in-flight owner token without data")
+			}
+		}
+	}
+	if tokens != m.cfg.T {
+		return fmt.Errorf("token conservation violated: %d != %d", tokens, m.cfg.T)
+	}
+	if owners != 1 {
+		return fmt.Errorf("owner-token invariant violated: %d owners", owners)
+	}
+	if writers > 1 {
+		return fmt.Errorf("coherence invariant violated: %d writers", writers)
+	}
+	return nil
+}
+
+// Quiescent implements mc.Model: any state may idle (the policy is never
+// obligated to act), so deadlock means literally no successors, which the
+// delivery transitions prevent; treat all states as quiescent-capable
+// only when no messages and no requests are outstanding.
+func (m *TokenModel) Quiescent(key string) bool {
+	s := m.decode[key]
+	return len(s.Msgs) == 0 && !m.Pending(key)
+}
+
+// Pending implements mc.Model.
+func (m *TokenModel) Pending(key string) bool {
+	s := m.decode[key]
+	for _, r := range s.Reqs {
+		if r.Valid {
+			return true
+		}
+	}
+	return false
+}
+
+// Satisfying implements mc.Model.
+func (m *TokenModel) Satisfying(key string) bool { return !m.Pending(key) }

@@ -1,0 +1,64 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockOf(t *testing.T) {
+	if BlockOf(0) != 0 || BlockOf(63) != 0 || BlockOf(64) != 1 {
+		t.Error("block boundaries wrong")
+	}
+	if Block(5).Addr() != 320 {
+		t.Errorf("block 5 addr = %d, want 320", Block(5).Addr())
+	}
+}
+
+// Property: BlockOf inverts Block.Addr for any in-block offset.
+func TestPropertyBlockRoundTrip(t *testing.T) {
+	f := func(b uint32, off uint8) bool {
+		blk := Block(b)
+		return BlockOf(blk.Addr()+Addr(off)%BlockSize) == blk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapperSpread(t *testing.T) {
+	m := Mapper{Banks: 4, CMPs: 4}
+	banks := map[int]int{}
+	homes := map[int]int{}
+	for b := 0; b < 4096; b++ {
+		banks[m.Bank(Block(b))]++
+		homes[m.HomeCMP(Block(b))]++
+	}
+	for i := 0; i < 4; i++ {
+		if banks[i] != 1024 {
+			t.Errorf("bank %d got %d blocks, want 1024", i, banks[i])
+		}
+		if homes[i] != 1024 {
+			t.Errorf("home %d got %d blocks, want 1024", i, homes[i])
+		}
+	}
+}
+
+func TestMapperDegenerate(t *testing.T) {
+	m := Mapper{Banks: 1, CMPs: 1}
+	for b := 0; b < 100; b++ {
+		if m.Bank(Block(b)) != 0 || m.HomeCMP(Block(b)) != 0 {
+			t.Fatal("single bank/CMP must map to zero")
+		}
+	}
+}
+
+// Property: mappings are always within range.
+func TestPropertyMapperInRange(t *testing.T) {
+	m := Mapper{Banks: 4, CMPs: 4}
+	f := func(b uint64) bool {
+		return m.Bank(Block(b)) < 4 && m.HomeCMP(Block(b)) < 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package network models the two fully-connected, unordered interconnects
+// of the M-CMP system: an on-chip network inside each CMP and a global
+// network between CMPs (Figure 1, Table 3). Links have both latency and
+// bandwidth; messages serialize on their directed source→destination
+// link, so bursts queue. Delivery order between different links is
+// unordered (it depends only on timing), as the paper requires of token
+// coherence's substrate.
+package network
+
+import (
+	"fmt"
+
+	"tokencmp/internal/mem"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/topo"
+)
+
+// Control and data message sizes in bytes (Section 8: "Data messages are
+// 72 bytes and control messages 8 bytes").
+const (
+	ControlSize = 8
+	DataSize    = 72
+)
+
+// Message is one protocol message. Kind is a protocol-private opcode;
+// the token-coherence payload fields (Tokens, Owner, HasData, Data) are
+// inline because the substrate's conservation monitor must see them on
+// every message regardless of protocol.
+type Message struct {
+	Src, Dst topo.NodeID
+	Block    mem.Block
+	Kind     int
+	Class    stats.TrafficClass
+	Size     int
+
+	// Token-coherence payload.
+	Tokens  int    // tokens carried (0 for directory protocols)
+	Owner   bool   // carries the owner token
+	HasData bool   // carries a data payload
+	Dirty   bool   // data is modified relative to memory
+	Data    uint64 // modeled block value, for serial-view checking
+
+	// Small protocol scratch fields.
+	Requestor topo.NodeID // original requesting cache, for forwards
+	Proc      int         // global processor index (persistent requests)
+	Aux       int         // protocol-specific
+	SentAt    sim.Time    // stamped by the network on send
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("msg{%v->%v %v kind=%d tok=%d own=%v data=%v}",
+		m.Src, m.Dst, m.Block, m.Kind, m.Tokens, m.Owner, m.HasData)
+}
+
+// Endpoint receives delivered messages.
+type Endpoint interface {
+	Recv(m *Message)
+}
+
+// LinkParams describe one directed link.
+type LinkParams struct {
+	Latency   sim.Time
+	BytesPerNS int // bandwidth; 0 means infinite
+	Level      stats.Level
+}
+
+// Config holds the two link classes (Table 3 defaults via Default).
+type Config struct {
+	OnChip  LinkParams
+	OffChip LinkParams
+}
+
+// Default returns the Table 3 interconnect parameters: on-chip 2 ns
+// one-way at 64 GB/s; between chips 20 ns at 16 GB/s.
+func Default() Config {
+	return Config{
+		OnChip:  LinkParams{Latency: sim.NS(2), BytesPerNS: 64, Level: stats.IntraCMP},
+		OffChip: LinkParams{Latency: sim.NS(20), BytesPerNS: 16, Level: stats.InterCMP},
+	}
+}
+
+type linkKey struct{ src, dst topo.NodeID }
+
+// Network delivers messages between endpoints.
+type Network struct {
+	Eng  *sim.Engine
+	Geom topo.Geometry
+	Cfg  Config
+
+	endpoints map[topo.NodeID]Endpoint
+	nextFree  map[linkKey]sim.Time
+
+	// Traffic accumulates the Figure 7 byte counts.
+	Traffic stats.Traffic
+
+	// InFlight counts undelivered messages; the coherence monitor uses it
+	// and tests use it to detect quiescence.
+	InFlight int
+
+	// Monitor, if set, observes every message at delivery time (before
+	// the endpoint) — the token-conservation checker hooks here.
+	Monitor func(m *Message)
+
+	// OnSend, if set, observes every message as it is sent.
+	OnSend func(m *Message)
+
+	// In-flight token accounting for the conservation monitor.
+	TokensInFlight map[mem.Block]int
+	OwnersInFlight map[mem.Block]int
+}
+
+// New builds a network over geometry g.
+func New(eng *sim.Engine, g topo.Geometry, cfg Config) *Network {
+	return &Network{
+		Eng:            eng,
+		Geom:           g,
+		Cfg:            cfg,
+		endpoints:      make(map[topo.NodeID]Endpoint),
+		nextFree:       make(map[linkKey]sim.Time),
+		TokensInFlight: make(map[mem.Block]int),
+		OwnersInFlight: make(map[mem.Block]int),
+	}
+}
+
+// Attach registers the endpoint for id.
+func (n *Network) Attach(id topo.NodeID, e Endpoint) { n.endpoints[id] = e }
+
+// link picks the parameters for src→dst. Memory controllers sit off-chip
+// behind the CMP's memory interface (Table 3: "latency to mem controller
+// 20ns (off-chip)"), so any link touching a memory controller uses
+// off-chip parameters even within a CMP.
+func (n *Network) link(src, dst topo.NodeID) LinkParams {
+	if n.Geom.KindOf(src) == topo.Mem || n.Geom.KindOf(dst) == topo.Mem {
+		return n.Cfg.OffChip
+	}
+	if n.Geom.SameCMP(src, dst) {
+		return n.Cfg.OnChip
+	}
+	return n.Cfg.OffChip
+}
+
+// Send queues m for delivery. Messages on the same directed link
+// serialize through its bandwidth; messages on different links are
+// independent and may be reordered relative to each other.
+func (n *Network) Send(m *Message) {
+	if m.Size == 0 {
+		if m.HasData {
+			m.Size = DataSize
+		} else {
+			m.Size = ControlSize
+		}
+	}
+	m.SentAt = n.Eng.Now()
+	if n.OnSend != nil {
+		n.OnSend(m)
+	}
+	lp := n.link(m.Src, m.Dst)
+	// Traffic accounting mirrors the physical path (Figure 7): a message
+	// between caches on one chip uses that chip's interconnect once; a
+	// message that leaves a chip uses the source chip's interconnect, the
+	// global interconnect, and — if the destination is a cache — the
+	// destination chip's interconnect. Memory controllers hang off the
+	// global side, so their hops add no on-chip traffic.
+	if lp.Level == stats.IntraCMP {
+		n.Traffic.Add(stats.IntraCMP, m.Class, m.Size)
+	} else {
+		n.Traffic.Add(stats.InterCMP, m.Class, m.Size)
+		if n.Geom.KindOf(m.Src) != topo.Mem {
+			n.Traffic.Add(stats.IntraCMP, m.Class, m.Size)
+		}
+		if n.Geom.KindOf(m.Dst) != topo.Mem {
+			n.Traffic.Add(stats.IntraCMP, m.Class, m.Size)
+		}
+	}
+	n.InFlight++
+	if m.Tokens > 0 {
+		n.TokensInFlight[m.Block] += m.Tokens
+	}
+	if m.Owner {
+		n.OwnersInFlight[m.Block]++
+	}
+
+	ser := sim.Time(0)
+	if lp.BytesPerNS > 0 {
+		ser = sim.Time(int64(m.Size) * int64(sim.Nanosecond) / int64(lp.BytesPerNS))
+	}
+	key := linkKey{m.Src, m.Dst}
+	depart := n.Eng.Now()
+	if free, ok := n.nextFree[key]; ok && free > depart {
+		depart = free
+	}
+	depart += ser
+	n.nextFree[key] = depart
+	deliverAt := depart + lp.Latency
+
+	n.Eng.ScheduleAt(deliverAt, func() { n.deliver(m) })
+}
+
+func (n *Network) deliver(m *Message) {
+	n.InFlight--
+	if m.Tokens > 0 {
+		n.TokensInFlight[m.Block] -= m.Tokens
+		if n.TokensInFlight[m.Block] == 0 {
+			delete(n.TokensInFlight, m.Block)
+		}
+	}
+	if m.Owner {
+		n.OwnersInFlight[m.Block]--
+		if n.OwnersInFlight[m.Block] == 0 {
+			delete(n.OwnersInFlight, m.Block)
+		}
+	}
+	if n.Monitor != nil {
+		n.Monitor(m)
+	}
+	ep, ok := n.endpoints[m.Dst]
+	if !ok {
+		panic(fmt.Sprintf("network: no endpoint attached for %v (message %v)", m.Dst, m))
+	}
+	ep.Recv(m)
+}
+
+// Broadcast sends a copy of template to each destination in dsts,
+// skipping the source itself.
+func (n *Network) Broadcast(template *Message, dsts []topo.NodeID) {
+	for _, d := range dsts {
+		if d == template.Src {
+			continue
+		}
+		cp := *template
+		cp.Dst = d
+		n.Send(&cp)
+	}
+}

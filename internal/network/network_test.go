@@ -1,0 +1,155 @@
+package network
+
+import (
+	"testing"
+
+	"tokencmp/internal/sim"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/topo"
+)
+
+type sink struct {
+	got []*Message
+	at  []sim.Time
+	eng *sim.Engine
+}
+
+func (s *sink) Recv(m *Message) {
+	s.got = append(s.got, m)
+	s.at = append(s.at, s.eng.Now())
+}
+
+func testNet(t *testing.T) (*sim.Engine, *Network, topo.Geometry, map[topo.NodeID]*sink) {
+	t.Helper()
+	eng := sim.NewEngine()
+	g := topo.NewGeometry(2, 2, 1)
+	n := New(eng, g, Default())
+	sinks := map[topo.NodeID]*sink{}
+	for _, id := range g.AllNodes() {
+		s := &sink{eng: eng}
+		sinks[id] = s
+		n.Attach(id, s)
+	}
+	return eng, n, g, sinks
+}
+
+func TestOnChipLatency(t *testing.T) {
+	eng, n, g, sinks := testNet(t)
+	src, dst := g.L1DNode(0, 0), g.L1DNode(0, 1)
+	n.Send(&Message{Src: src, Dst: dst, Size: 8})
+	eng.Run(0)
+	// 8 bytes at 64 B/ns = 0.125ns serialization + 2ns latency.
+	want := sim.PS(125) + sim.NS(2)
+	if sinks[dst].at[0] != want {
+		t.Errorf("delivery at %v, want %v", sinks[dst].at[0], want)
+	}
+}
+
+func TestOffChipLatency(t *testing.T) {
+	eng, n, g, sinks := testNet(t)
+	src, dst := g.L1DNode(0, 0), g.L1DNode(1, 0)
+	n.Send(&Message{Src: src, Dst: dst, Size: 8})
+	eng.Run(0)
+	// 8 bytes at 16 B/ns = 0.5ns + 20ns latency.
+	want := sim.PS(500) + sim.NS(20)
+	if sinks[dst].at[0] != want {
+		t.Errorf("delivery at %v, want %v", sinks[dst].at[0], want)
+	}
+}
+
+func TestMemoryLinksAreOffChip(t *testing.T) {
+	eng, n, g, sinks := testNet(t)
+	src, dst := g.L1DNode(0, 0), g.MemNode(0) // same CMP, but memory is off-chip
+	n.Send(&Message{Src: src, Dst: dst, Size: 8})
+	eng.Run(0)
+	if sinks[dst].at[0] < sim.NS(20) {
+		t.Errorf("memory delivery at %v, want >= 20ns", sinks[dst].at[0])
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	eng, n, g, sinks := testNet(t)
+	src, dst := g.L1DNode(0, 0), g.L1DNode(0, 1)
+	// Two 64-byte messages on one link: the second serializes behind the
+	// first (1ns each at 64 B/ns).
+	n.Send(&Message{Src: src, Dst: dst, Size: 64})
+	n.Send(&Message{Src: src, Dst: dst, Size: 64})
+	eng.Run(0)
+	d := sinks[dst].at[1] - sinks[dst].at[0]
+	if d != sim.NS(1) {
+		t.Errorf("serialization gap = %v, want 1ns", d)
+	}
+}
+
+func TestPerLinkFIFO(t *testing.T) {
+	eng, n, g, sinks := testNet(t)
+	src, dst := g.L1DNode(0, 0), g.L2Node(0, 0)
+	for i := 0; i < 5; i++ {
+		n.Send(&Message{Src: src, Dst: dst, Aux: i})
+	}
+	eng.Run(0)
+	for i, m := range sinks[dst].got {
+		if m.Aux != i {
+			t.Fatalf("link reordered messages: %d at position %d", m.Aux, i)
+		}
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	eng, n, g, sinks := testNet(t)
+	src, dst := g.L1DNode(0, 0), g.L1DNode(0, 1)
+	n.Send(&Message{Src: src, Dst: dst})                // control
+	n.Send(&Message{Src: src, Dst: dst, HasData: true}) // data
+	eng.Run(0)
+	if sinks[dst].got[0].Size != ControlSize || sinks[dst].got[1].Size != DataSize {
+		t.Errorf("sizes = %d, %d; want %d, %d",
+			sinks[dst].got[0].Size, sinks[dst].got[1].Size, ControlSize, DataSize)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	eng, n, g, _ := testNet(t)
+	// On-chip cache-to-cache: intra only.
+	n.Send(&Message{Src: g.L1DNode(0, 0), Dst: g.L1DNode(0, 1), Size: 8, Class: stats.Request})
+	// Cross-chip cache-to-cache: inter once + intra on both chips.
+	n.Send(&Message{Src: g.L1DNode(0, 0), Dst: g.L1DNode(1, 0), Size: 8, Class: stats.Request})
+	// Cache-to-memory: inter + source-chip intra only.
+	n.Send(&Message{Src: g.L1DNode(0, 0), Dst: g.MemNode(0), Size: 8, Class: stats.Request})
+	eng.Run(0)
+	if got := n.Traffic.Bytes[stats.IntraCMP][stats.Request]; got != 8+16+8 {
+		t.Errorf("intra bytes = %d, want 32", got)
+	}
+	if got := n.Traffic.Bytes[stats.InterCMP][stats.Request]; got != 16 {
+		t.Errorf("inter bytes = %d, want 16", got)
+	}
+}
+
+func TestBroadcastSkipsSource(t *testing.T) {
+	eng, n, g, sinks := testNet(t)
+	src := g.L1DNode(0, 0)
+	tmpl := &Message{Src: src, Block: 1}
+	n.Broadcast(tmpl, g.AllNodes())
+	eng.Run(0)
+	if len(sinks[src].got) != 0 {
+		t.Error("broadcast delivered to source")
+	}
+	total := 0
+	for _, s := range sinks {
+		total += len(s.got)
+	}
+	if total != g.NumNodes()-1 {
+		t.Errorf("deliveries = %d, want %d", total, g.NumNodes()-1)
+	}
+}
+
+func TestTokenInFlightAccounting(t *testing.T) {
+	eng, n, g, _ := testNet(t)
+	n.Send(&Message{Src: g.L1DNode(0, 0), Dst: g.L1DNode(0, 1), Block: 9, Tokens: 5, Owner: true, HasData: true})
+	if n.TokensInFlight[9] != 5 || n.OwnersInFlight[9] != 1 {
+		t.Fatalf("in-flight = %d/%d, want 5/1", n.TokensInFlight[9], n.OwnersInFlight[9])
+	}
+	eng.Run(0)
+	if len(n.TokensInFlight) != 0 || len(n.OwnersInFlight) != 0 {
+		t.Error("in-flight counters not cleared after delivery")
+	}
+}

@@ -1,0 +1,117 @@
+// Package perfectl2 implements the paper's unimplementable lower bound:
+// every L1 miss hits in an infinite, instantly-coherent L2 cache shared
+// across all CMPs (Section 6). No coherence traffic exists; an access
+// costs the L1 latency, plus the on-chip round trip and L2 access when it
+// leaves the L1.
+package perfectl2
+
+import (
+	"tokencmp/internal/cpu"
+	"tokencmp/internal/mem"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/topo"
+)
+
+// Config holds PerfectL2 timing parameters.
+type Config struct {
+	Geom      topo.Geometry
+	L1Latency sim.Time
+	L2Latency sim.Time
+	LinkLat   sim.Time // one-way on-chip hop
+}
+
+// DefaultConfig mirrors the Table 3 latencies.
+func DefaultConfig(g topo.Geometry) Config {
+	return Config{Geom: g, L1Latency: sim.NS(2), L2Latency: sim.NS(7), LinkLat: sim.NS(2)}
+}
+
+// System is the magic shared-L2 machine.
+type System struct {
+	Eng *sim.Engine
+	Cfg Config
+
+	// values is the globally coherent store.
+	values map[mem.Block]uint64
+	// l1 models per-processor L1 residency: the last epoch each (proc,
+	// block) pair was touched and the block's invalidation epoch.
+	touched map[l1Key]uint64
+	epoch   map[mem.Block]uint64
+
+	ports []*port
+	Hits  uint64
+	MissesToL2 uint64
+}
+
+type l1Key struct {
+	proc  int
+	block mem.Block
+	instr bool
+}
+
+// NewSystem builds a PerfectL2 machine.
+func NewSystem(eng *sim.Engine, cfg Config) *System {
+	s := &System{
+		Eng:     eng,
+		Cfg:     cfg,
+		values:  make(map[mem.Block]uint64),
+		touched: make(map[l1Key]uint64),
+		epoch:   make(map[mem.Block]uint64),
+	}
+	n := cfg.Geom.TotalProcs()
+	s.ports = make([]*port, 2*n)
+	for p := 0; p < n; p++ {
+		s.ports[2*p] = &port{sys: s, proc: p, instr: false}
+		s.ports[2*p+1] = &port{sys: s, proc: p, instr: true}
+	}
+	return s
+}
+
+// Ports returns the data and instruction ports of a global processor.
+func (s *System) Ports(globalProc int) (data, inst cpu.MemPort) {
+	return s.ports[2*globalProc], s.ports[2*globalProc+1]
+}
+
+// Name reports the protocol name.
+func (s *System) Name() string { return "PerfectL2" }
+
+// Misses reports accesses that left the L1.
+func (s *System) Misses() uint64 { return s.MissesToL2 }
+
+type port struct {
+	sys   *System
+	proc  int
+	instr bool
+}
+
+// Access implements cpu.MemPort. A block counts as an L1 hit if this
+// processor touched it since the last conflicting write by another
+// processor; otherwise the access pays the perfect-L2 round trip.
+func (p *port) Access(kind cpu.AccessKind, addr mem.Addr, store uint64, done func(uint64)) {
+	s := p.sys
+	b := mem.BlockOf(addr)
+	key := l1Key{proc: p.proc, block: b, instr: p.instr}
+	lat := s.Cfg.L1Latency
+	if s.touched[key] < s.epoch[b]+1 {
+		// Not L1-resident: shared-L2 hit.
+		s.MissesToL2++
+		lat += 2*s.Cfg.LinkLat + s.Cfg.L2Latency
+	} else {
+		s.Hits++
+	}
+	s.Eng.Schedule(lat, func() {
+		var val uint64
+		switch kind {
+		case cpu.Load, cpu.IFetch:
+			val = s.values[b]
+		case cpu.Store:
+			s.values[b] = store
+			s.epoch[b]++ // invalidate other L1 copies
+		case cpu.Atomic:
+			val = s.values[b]
+			s.values[b] = store
+			s.epoch[b]++
+		}
+		s.touched[key] = s.epoch[b] + 1
+		done(val)
+	})
+}

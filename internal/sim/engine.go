@@ -1,0 +1,119 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled closure.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler.
+// The zero value is ready to use.
+type Engine struct {
+	pq      eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	// Executed counts events that have fired; useful as a progress and
+	// live-lock guard in tests.
+	Executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after delay d (>= 0). Events scheduled for the same
+// instant fire in the order they were scheduled.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: e.now + d, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute time t (clamped to now).
+func (e *Engine) ScheduleAt(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.Schedule(t-e.now, fn)
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Stop makes the currently executing Run return once the current event
+// handler completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the next event, if any, and reports whether one fired.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	e.Executed++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty, Stop is called, or the
+// event-count limit is exceeded (limit <= 0 means no limit). It returns
+// the final simulated time.
+func (e *Engine) Run(limit uint64) Time {
+	e.stopped = false
+	start := e.Executed
+	for !e.stopped && e.Step() {
+		if limit > 0 && e.Executed-start >= limit {
+			break
+		}
+	}
+	return e.now
+}
+
+// RunUntil fires events until cond() is true (checked after every event),
+// the queue drains, or the event-count limit is exceeded. It reports
+// whether cond was satisfied.
+func (e *Engine) RunUntil(cond func() bool, limit uint64) bool {
+	e.stopped = false
+	if cond() {
+		return true
+	}
+	start := e.Executed
+	for !e.stopped && e.Step() {
+		if cond() {
+			return true
+		}
+		if limit > 0 && e.Executed-start >= limit {
+			return false
+		}
+	}
+	return cond()
+}

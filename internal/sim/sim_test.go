@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdersByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(NS(30), func() { got = append(got, 3) })
+	e.Schedule(NS(10), func() { got = append(got, 1) })
+	e.Schedule(NS(20), func() { got = append(got, 2) })
+	e.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", got)
+	}
+	if e.Now() != NS(30) {
+		t.Errorf("final time = %v, want 30ns", e.Now())
+	}
+}
+
+func TestTiesFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(NS(5), func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(NS(1), recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run(0)
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if e.Now() != NS(99) {
+		t.Errorf("time = %v, want 99ns", e.Now())
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(NS(10), func() {
+		e.Schedule(-NS(5), func() { fired = true })
+	})
+	e.Run(0)
+	if !fired {
+		t.Error("negative-delay event did not fire")
+	}
+	if e.Now() != NS(10) {
+		t.Errorf("time = %v, want 10ns (clamped)", e.Now())
+	}
+}
+
+func TestScheduleAtClampsToNow(t *testing.T) {
+	e := NewEngine()
+	at := Time(-1)
+	e.Schedule(NS(10), func() {
+		e.ScheduleAt(NS(3), func() { at = e.Now() })
+	})
+	e.Run(0)
+	if at != NS(10) {
+		t.Errorf("past ScheduleAt fired at %v, want 10ns", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(NS(int64(i)), func() { n++ })
+	}
+	if !e.RunUntil(func() bool { return n == 5 }, 0) {
+		t.Fatal("condition not reached")
+	}
+	if n != 5 {
+		t.Errorf("n = %d, want 5", n)
+	}
+	if e.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", e.Pending())
+	}
+}
+
+func TestRunEventLimit(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.Schedule(NS(1), tick) }
+	e.Schedule(0, tick)
+	e.Run(1000)
+	if e.Executed != 1000 {
+		t.Errorf("executed = %d, want 1000", e.Executed)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(NS(1), func() { n++; e.Stop() })
+	e.Schedule(NS(2), func() { n++ })
+	e.Run(0)
+	if n != 1 {
+		t.Errorf("n = %d, want 1 (stopped)", n)
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// insertion order.
+func TestPropertyMonotonicTime(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		last := Time(-1)
+		ok := true
+		for _, d := range delays {
+			e.Schedule(Time(d)*Nanosecond, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run(0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Executed equals the number of scheduled events when all run.
+func TestPropertyAllEventsFire(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		for i := 0; i < int(n); i++ {
+			e.Schedule(Time(rng.Intn(1000))*Nanosecond, func() {})
+		}
+		e.Run(0)
+		return e.Executed == uint64(n) && e.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		PS(500):          "500ps",
+		NS(3):            "3.000ns",
+		Microsecond * 2:  "2.000us",
+		Millisecond * 10: "10.000ms",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample accumulates scalar observations (e.g. runtimes from perturbed
+// runs) and reports mean and 95% confidence half-interval.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean reports the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev reports the sample standard deviation (0 for fewer than two
+// observations).
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// CI95 reports the 95% confidence half-interval of the mean, using the
+// normal approximation with small-sample t multipliers for n <= 30.
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	return tMultiplier(n-1) * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// tMultiplier approximates the two-sided 95% Student-t critical value for
+// the given degrees of freedom.
+func tMultiplier(df int) float64 {
+	table := map[int]float64{
+		1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+		6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+		15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
+	}
+	if v, ok := table[df]; ok {
+		return v
+	}
+	switch {
+	case df < 15:
+		return table[10]
+	case df < 20:
+		return table[15]
+	case df < 25:
+		return table[20]
+	case df < 30:
+		return table[25]
+	default:
+		return 1.96
+	}
+}
+
+// String formats the sample as "mean ± ci".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", s.Mean(), s.CI95())
+}
+
+// Overlaps reports whether the 95% confidence intervals of s and other
+// overlap; per the paper, differences are significant when they do not.
+func (s *Sample) Overlaps(other *Sample) bool {
+	loA, hiA := s.Mean()-s.CI95(), s.Mean()+s.CI95()
+	loB, hiB := other.Mean()-other.CI95(), other.Mean()+other.CI95()
+	return loA <= hiB && loB <= hiA
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMeanCI(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{10, 12, 14} {
+		s.Add(x)
+	}
+	if s.Mean() != 12 {
+		t.Errorf("mean = %v, want 12", s.Mean())
+	}
+	if s.StdDev() != 2 {
+		t.Errorf("stddev = %v, want 2", s.StdDev())
+	}
+	// CI95 with n=3, df=2: 4.303 * 2 / sqrt(3).
+	want := 4.303 * 2 / math.Sqrt(3)
+	if math.Abs(s.CI95()-want) > 1e-9 {
+		t.Errorf("ci = %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestSampleDegenerate(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.CI95() != 0 || s.StdDev() != 0 {
+		t.Error("empty sample not zero")
+	}
+	s.Add(5)
+	if s.Mean() != 5 || s.CI95() != 0 {
+		t.Error("single-observation sample wrong")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	var a, b Sample
+	for _, x := range []float64{10, 11, 12} {
+		a.Add(x)
+	}
+	for _, x := range []float64{100, 101, 102} {
+		b.Add(x)
+	}
+	if a.Overlaps(&b) {
+		t.Error("distant samples should not overlap")
+	}
+	var c Sample
+	for _, x := range []float64{9, 12, 15} {
+		c.Add(x)
+	}
+	if !a.Overlaps(&c) {
+		t.Error("close samples should overlap")
+	}
+}
+
+// Property: the mean lies within [min, max] of the observations.
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var s Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			// Scale into a range whose sum cannot overflow.
+			x = math.Mod(x, 1e12)
+			s.Add(x)
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		m := s.Mean()
+		eps := 1e-6 * (math.Abs(lo) + math.Abs(hi) + 1)
+		return m >= lo-eps && m <= hi+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrafficAccumulates(t *testing.T) {
+	var tr Traffic
+	tr.Add(IntraCMP, Request, 8)
+	tr.Add(IntraCMP, Request, 8)
+	tr.Add(InterCMP, ResponseData, 72)
+	if tr.TotalBytes(IntraCMP) != 16 || tr.TotalMessages(IntraCMP) != 2 {
+		t.Error("intra accumulation wrong")
+	}
+	if tr.TotalBytes(InterCMP) != 72 {
+		t.Error("inter accumulation wrong")
+	}
+	var other Traffic
+	other.Add(InterCMP, ResponseData, 72)
+	tr.Merge(&other)
+	if tr.TotalBytes(InterCMP) != 144 {
+		t.Error("merge wrong")
+	}
+}
+
+func TestTrafficClassNames(t *testing.T) {
+	for c := TrafficClass(0); c < NumTrafficClasses; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if IntraCMP.String() != "intra-CMP" || InterCMP.String() != "inter-CMP" {
+		t.Error("level names wrong")
+	}
+}

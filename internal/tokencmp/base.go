@@ -1,0 +1,174 @@
+package tokencmp
+
+import (
+	"tokencmp/internal/mem"
+	"tokencmp/internal/network"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/token"
+	"tokencmp/internal/topo"
+)
+
+// base is the substrate-node behavior shared by L1, L2, and memory
+// controllers: the persistent-request tables and the token-forwarding
+// rules they obligate (§3.2). Every endpoint remembers activated
+// persistent requests and forwards tokens — those present now and those
+// received later — to the initiator.
+type base struct {
+	id  topo.NodeID
+	sys *System
+
+	dtable *token.DistributedTable
+	atable *token.ArbTable
+
+	// lookup returns the endpoint's token state for b, or nil.
+	lookup func(b mem.Block) *token.State
+	// onEmpty tells the endpoint its state for b drained to zero tokens
+	// (caches invalidate the line). May be nil.
+	onEmpty func(b mem.Block)
+	// noteLoss reports tokens leaving this endpoint toward dst (used by
+	// L1s to keep the L2 bank's on-chip token presence current). May be
+	// nil.
+	noteLoss func(b mem.Block, tokens int, owner bool, dst topo.NodeID, emptied bool)
+	// accessLatency delays persistent forwards by the endpoint's array
+	// access time.
+	accessLatency sim.Time
+	// dataDelay is extra latency when a forward carries data (DRAM).
+	dataDelay sim.Time
+	// isMem marks memory controllers, which give up everything on
+	// persistent reads (they are not caches and hold no read permission).
+	isMem bool
+}
+
+func (c *base) initTables(sys *System, id topo.NodeID) {
+	c.sys = sys
+	c.id = id
+	c.dtable = token.NewDistributedTable(sys.Geom.TotalProcs())
+	c.atable = token.NewArbTable()
+}
+
+// activeEntry returns the persistent request this endpoint must currently
+// honor for b under the configured activation mechanism.
+func (c *base) activeEntry(b mem.Block) (token.Entry, bool) {
+	if c.sys.Cfg.Variant.Activation == Distributed {
+		_, e, ok := c.dtable.Active(b)
+		return e, ok
+	}
+	return c.atable.Active(b)
+}
+
+// reeval checks whether tokens held for b must be forwarded to an active
+// persistent request and, if so, sends them. It is called after every
+// table update and every token arrival, which implements "forward tokens
+// present and received in the future". The response-delay hold defers,
+// never cancels, the forward.
+func (c *base) reeval(b mem.Block) {
+	e, ok := c.activeEntry(b)
+	if !ok || e.Dest == c.id {
+		return
+	}
+	s := c.lookup(b)
+	if s == nil || s.Tokens == 0 {
+		return
+	}
+	now := c.sys.Eng.Now()
+	if s.HoldUntil > now {
+		c.sys.Eng.ScheduleAt(s.HoldUntil, func() { c.reeval(b) })
+		return
+	}
+
+	var m *network.Message
+	switch {
+	case e.Kind == token.ReqWrite || c.isMem:
+		// Persistent writes collect everything; memory also cedes all on
+		// persistent reads (it needs no read permission and holds the
+		// data the reader must receive).
+		tk, own, hasData, data, dirty := s.TakeAll()
+		m = &network.Message{Tokens: tk, Owner: own, HasData: own && hasData, Data: data, Dirty: dirty}
+	case s.Owner:
+		// Persistent read: the owner keeps one plain token (retaining a
+		// readable copy when it has data) and sends the owner token with
+		// data, guaranteeing the reader receives valid data.
+		give := s.Tokens - 1
+		if give < 1 {
+			give = s.Tokens // owner-only: must surrender the owner token
+		}
+		m = &network.Message{Tokens: give, Owner: true, HasData: true, Data: s.Data, Dirty: s.Dirty}
+		s.Tokens -= give
+		s.Owner = false
+		s.Dirty = false
+		if s.Tokens == 0 {
+			s.HasData = false
+		}
+	default:
+		// Non-owner holder: give up all but one token; data travels from
+		// the owner.
+		if s.Tokens < 2 {
+			return
+		}
+		give := s.Tokens - 1
+		s.Tokens = 1
+		m = &network.Message{Tokens: give}
+	}
+	if m.Tokens == 0 && !m.Owner {
+		return
+	}
+	emptied := s.Tokens == 0
+	m.Src = c.id
+	m.Dst = e.Dest
+	m.Block = b
+	m.Kind = kResponse
+	if m.HasData {
+		m.Class = stats.ResponseData
+	} else {
+		m.Class = stats.InvFwdAckTokens
+	}
+	if c.noteLoss != nil {
+		c.noteLoss(b, m.Tokens, m.Owner, m.Dst, emptied)
+	}
+	delay := c.accessLatency
+	if m.HasData {
+		delay += c.dataDelay
+	}
+	c.sys.Eng.Schedule(delay, func() { c.sys.Net.Send(m) })
+	if emptied && c.onEmpty != nil {
+		c.onEmpty(b)
+	}
+}
+
+// transientBlocked reports whether transient requests for b must be
+// ignored. An activated persistent *write* request owns every token for
+// the block (present and future), so responding to a transient would
+// only bounce tokens away from the starving initiator. An activated
+// persistent *read* leaves one token at each holder, which transient
+// writers may still collect — blocking those would stall lock releases
+// behind spinner waves. The initiator's own transients are always
+// served.
+func (c *base) transientBlocked(b mem.Block, requestor topo.NodeID) bool {
+	e, ok := c.activeEntry(b)
+	return ok && e.Dest != requestor && e.Kind == token.ReqWrite
+}
+
+// handlePersistentMsg processes the substrate's table-maintenance
+// messages shared by all endpoints. It reports whether the message kind
+// was consumed.
+func (c *base) handlePersistentMsg(m *network.Message) bool {
+	switch m.Kind {
+	case kPersistent:
+		c.dtable.Insert(m.Proc, m.Block, token.ReqKind(m.Aux), m.Requestor)
+		c.reeval(m.Block)
+	case kPersistentDone:
+		if blk, ok := c.dtable.Deactivate(m.Proc); ok {
+			c.reeval(blk)
+		}
+	case kArbActivate:
+		c.atable.Activate(m.Block, token.ReqKind(m.Aux), m.Requestor, m.Proc)
+		c.reeval(m.Block)
+	case kArbDeactivate:
+		c.atable.Deactivate(m.Block, m.Proc)
+		c.reeval(m.Block)
+	default:
+		return false
+	}
+	return true
+}

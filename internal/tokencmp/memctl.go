@@ -1,0 +1,215 @@
+package tokencmp
+
+import (
+	"fmt"
+
+	"tokencmp/internal/mem"
+	"tokencmp/internal/network"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/token"
+	"tokencmp/internal/topo"
+)
+
+// MemStats counts per-memory-controller events.
+type MemStats struct {
+	Requests   uint64
+	DataResps  uint64
+	Writebacks uint64
+	ArbQueued  uint64
+}
+
+// MemCtrl is a TokenCMP memory controller. Memory is just another token
+// holder in the flat substrate: per block it stores a token count (all T
+// initially, with the owner token and the backing data) and, in the
+// arbiter-based variants, it hosts the persistent-request arbiter for its
+// home blocks.
+type MemCtrl struct {
+	base
+	cmp   int
+	store map[mem.Block]*token.State
+	arb   *token.Arbiter
+
+	Stats MemStats
+}
+
+func newMem(sys *System, id topo.NodeID, cmp int) *MemCtrl {
+	c := &MemCtrl{
+		cmp:   cmp,
+		store: make(map[mem.Block]*token.State),
+		arb:   token.NewArbiter(),
+	}
+	c.initTables(sys, id)
+	c.accessLatency = sys.Cfg.MemLatency
+	c.dataDelay = sys.Cfg.DRAMLatency
+	c.isMem = true
+	c.lookup = func(b mem.Block) *token.State { return c.stateFor(b) }
+	return c
+}
+
+// isHome reports whether this controller is block b's home.
+func (c *MemCtrl) isHome(b mem.Block) bool {
+	return c.sys.Geom.HomeMem(b) == c.id
+}
+
+// stateFor lazily materializes a home block: all T tokens at memory,
+// owner, clean data with the initial value zero. Blocks homed elsewhere
+// have no state here (tokens exist in exactly one memory), so stateFor
+// returns nil for them unless tokens were explicitly delivered.
+func (c *MemCtrl) stateFor(b mem.Block) *token.State {
+	s := c.store[b]
+	if s == nil && c.isHome(b) {
+		s = &token.State{Tokens: c.sys.Cfg.T, Owner: true, HasData: true}
+		c.store[b] = s
+	}
+	return s
+}
+
+// Touched lists blocks that have materialized state (for audits).
+func (c *MemCtrl) Touched() []mem.Block {
+	out := make([]mem.Block, 0, len(c.store))
+	for b := range c.store {
+		out = append(out, b)
+	}
+	return out
+}
+
+// StateOf returns the memory-side state for b without materializing.
+func (c *MemCtrl) StateOf(b mem.Block) (*token.State, bool) {
+	s, ok := c.store[b]
+	return s, ok
+}
+
+// Recv implements network.Endpoint.
+func (c *MemCtrl) Recv(m *network.Message) {
+	switch m.Kind {
+	case kTransient:
+		c.sys.Eng.Schedule(c.sys.Cfg.MemLatency, func() { c.handleRequest(m) })
+	case kWriteback, kResponse:
+		c.sys.Eng.Schedule(c.sys.Cfg.MemLatency, func() { c.handleWriteback(m) })
+	case kArbRequest:
+		c.sys.Eng.Schedule(c.sys.Cfg.MemLatency, func() { c.handleArbRequest(m) })
+	case kArbDone:
+		c.sys.Eng.Schedule(c.sys.Cfg.MemLatency, func() { c.handleArbDone(m) })
+	default:
+		if c.handlePersistentMsg(m) {
+			return
+		}
+		panic(fmt.Sprintf("tokencmp: mem %v cannot handle %s", c.id, kindName(m.Kind)))
+	}
+}
+
+func (c *MemCtrl) handleRequest(m *network.Message) {
+	c.Stats.Requests++
+	b := m.Block
+	if c.transientBlocked(b, m.Requestor) {
+		return
+	}
+	s := c.stateFor(b)
+	if s == nil || s.Tokens == 0 {
+		return
+	}
+	rk := token.ReqKind(m.Aux)
+
+	var resp *network.Message
+	switch {
+	case rk == token.ReqWrite:
+		tk, own, hasData, data, dirty := s.TakeAll()
+		resp = &network.Message{Tokens: tk, Owner: own, HasData: own && hasData, Data: data, Dirty: dirty}
+	case s.Owner:
+		// Read: when memory holds every token, hand them all over — the
+		// exclusive-clean (E state) analog, letting the reader upgrade to
+		// a write silently (§4's "respond to a read request with all T
+		// tokens"). Otherwise send data plus up to C tokens so future
+		// requests in the reader's CMP hit locally.
+		if s.Tokens == c.sys.Cfg.T || s.Tokens < 2 {
+			tk, own, _, data, dirty := s.TakeAll()
+			resp = &network.Message{Tokens: tk, Owner: own, HasData: true, Data: data, Dirty: dirty}
+		} else {
+			n := minInt(c.sys.Geom.CachesPerCMP(), s.Tokens-1)
+			s.Tokens -= n
+			resp = &network.Message{Tokens: n, HasData: true, Data: s.Data}
+		}
+	default:
+		return // token-only memory stays silent on reads; the owner cache responds
+	}
+
+	resp.Src = c.id
+	resp.Dst = m.Requestor
+	resp.Block = b
+	resp.Kind = kResponse
+	delay := sim.Time(0)
+	if resp.HasData {
+		resp.Class = stats.ResponseData
+		delay = c.sys.Cfg.DRAMLatency
+		c.Stats.DataResps++
+	} else {
+		resp.Class = stats.InvFwdAckTokens
+	}
+	c.sys.Eng.Schedule(delay, func() { c.sys.Net.Send(resp) })
+}
+
+func (c *MemCtrl) handleWriteback(m *network.Message) {
+	c.Stats.Writebacks++
+	s := c.store[m.Block]
+	if s == nil {
+		// Tokens delivered to a non-home controller (should not happen,
+		// but the substrate must never lose tokens).
+		s = &token.State{}
+		c.store[m.Block] = s
+	}
+	s.Merge(m.Tokens, m.Owner, m.HasData, m.Data, m.Dirty)
+	if s.Owner {
+		s.Dirty = false // memory is the backing store
+	}
+	c.reeval(m.Block)
+}
+
+// handleArbRequest implements the arbiter side of the original
+// persistent-request scheme: fair FIFO per block, one activation at a
+// time, activation and deactivation broadcast to every endpoint.
+func (c *MemCtrl) handleArbRequest(m *network.Message) {
+	rk := token.ReqKind(m.Aux)
+	if c.arb.Request(m.Block, m.Proc, rk, m.Requestor) {
+		c.broadcastActivate(m.Block, rk, m.Requestor, m.Proc)
+	} else {
+		c.Stats.ArbQueued++
+	}
+}
+
+func (c *MemCtrl) handleArbDone(m *network.Message) {
+	// Deactivate everywhere, then activate the next queued request.
+	_, _, wasActive, hasNext := c.arb.Cancel(m.Block, m.Proc)
+	if wasActive {
+		tmpl := &network.Message{
+			Src:   c.id,
+			Block: m.Block,
+			Kind:  kArbDeactivate,
+			Class: stats.Persistent,
+			Proc:  m.Proc,
+		}
+		c.sys.Net.Broadcast(tmpl, c.sys.allEndpoints)
+		c.atable.Deactivate(m.Block, m.Proc)
+	}
+	if hasNext {
+		if e, proc, ok := c.arb.ActiveFor(m.Block); ok {
+			c.broadcastActivate(m.Block, e.Kind, e.Dest, proc)
+		}
+	}
+}
+
+func (c *MemCtrl) broadcastActivate(b mem.Block, rk token.ReqKind, dest topo.NodeID, proc int) {
+	tmpl := &network.Message{
+		Src:       c.id,
+		Block:     b,
+		Kind:      kArbActivate,
+		Class:     stats.Persistent,
+		Aux:       int(rk),
+		Requestor: dest,
+		Proc:      proc,
+	}
+	c.sys.Net.Broadcast(tmpl, c.sys.allEndpoints)
+	// Activate locally too (Broadcast skips the source).
+	c.atable.Activate(b, rk, dest, proc)
+	c.reeval(b)
+}

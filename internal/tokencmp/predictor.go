@@ -1,0 +1,97 @@
+package tokencmp
+
+import (
+	"math/rand"
+
+	"tokencmp/internal/mem"
+)
+
+// predictor is TokenCMP-dst1-pred's contended-block detector: a four-way
+// set-associative, 256-entry table of 2-bit saturating counters. A
+// counter is allocated and incremented when a transient request times
+// out; a saturated counter predicts contention and the L1 issues a
+// persistent request immediately, skipping the transient. Counters reset
+// pseudo-randomly to adapt to phase changes (Section 4).
+type predictor struct {
+	sets    int
+	ways    int
+	tags    [][]mem.Block
+	valid   [][]bool
+	counter [][]uint8
+	lru     [][]uint64
+	tick    uint64
+	rng     *rand.Rand
+}
+
+func newPredictor(seed int64) *predictor {
+	const entries, ways = 256, 4
+	sets := entries / ways
+	p := &predictor{sets: sets, ways: ways, rng: rand.New(rand.NewSource(seed))}
+	p.tags = make([][]mem.Block, sets)
+	p.valid = make([][]bool, sets)
+	p.counter = make([][]uint8, sets)
+	p.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		p.tags[i] = make([]mem.Block, ways)
+		p.valid[i] = make([]bool, ways)
+		p.counter[i] = make([]uint8, ways)
+		p.lru[i] = make([]uint64, ways)
+	}
+	return p
+}
+
+func (p *predictor) setOf(b mem.Block) int { return int(uint64(b) % uint64(p.sets)) }
+
+func (p *predictor) find(b mem.Block) (set, way int, ok bool) {
+	set = p.setOf(b)
+	for w := 0; w < p.ways; w++ {
+		if p.valid[set][w] && p.tags[set][w] == b {
+			return set, w, true
+		}
+	}
+	return set, 0, false
+}
+
+// NoteTimeout allocates/increments the counter for b after a transient
+// request timed out.
+func (p *predictor) NoteTimeout(b mem.Block) {
+	set, way, ok := p.find(b)
+	if !ok {
+		// Allocate the LRU (or first invalid) way.
+		way = 0
+		for w := 0; w < p.ways; w++ {
+			if !p.valid[set][w] {
+				way = w
+				break
+			}
+			if p.lru[set][w] < p.lru[set][way] {
+				way = w
+			}
+		}
+		p.valid[set][way] = true
+		p.tags[set][way] = b
+		p.counter[set][way] = 0
+	}
+	if p.counter[set][way] < 3 {
+		p.counter[set][way]++
+	}
+	p.tick++
+	p.lru[set][way] = p.tick
+}
+
+// Contended predicts whether a request for b should go persistent
+// immediately. Each query pseudo-randomly resets the counter with small
+// probability to allow adaptation.
+func (p *predictor) Contended(b mem.Block) bool {
+	set, way, ok := p.find(b)
+	if !ok {
+		return false
+	}
+	p.tick++
+	p.lru[set][way] = p.tick
+	if p.rng.Intn(64) == 0 {
+		p.counter[set][way] = 0
+		return false
+	}
+	return p.counter[set][way] >= 2
+}

@@ -1,0 +1,181 @@
+package tokencmp
+
+import (
+	"fmt"
+
+	"tokencmp/internal/cpu"
+	"tokencmp/internal/mem"
+	"tokencmp/internal/network"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/token"
+	"tokencmp/internal/topo"
+)
+
+// System is a complete TokenCMP machine: caches, memory controllers, and
+// the two-level interconnect, for one Table 1 variant.
+type System struct {
+	Eng  *sim.Engine
+	Net  *network.Network
+	Cfg  Config
+	Geom topo.Geometry
+
+	L1Ds [][]*L1Ctrl // [cmp][proc]
+	L1Is [][]*L1Ctrl
+	L2s  [][]*L2Ctrl // [cmp][bank]
+	Mems []*MemCtrl
+
+	allEndpoints []topo.NodeID
+}
+
+// NewSystem wires a TokenCMP machine on the given engine and network
+// configuration.
+func NewSystem(eng *sim.Engine, cfg Config, netCfg network.Config) *System {
+	g := cfg.Geom
+	if cfg.T == 0 {
+		cfg.T = token.TokenCountFor(len(g.AllCaches()))
+	}
+	s := &System{
+		Eng:  eng,
+		Cfg:  cfg,
+		Geom: g,
+		Net:  network.New(eng, g, netCfg),
+	}
+	s.allEndpoints = g.AllNodes()
+
+	s.L1Ds = make([][]*L1Ctrl, g.CMPs)
+	s.L1Is = make([][]*L1Ctrl, g.CMPs)
+	s.L2s = make([][]*L2Ctrl, g.CMPs)
+	s.Mems = make([]*MemCtrl, g.CMPs)
+	for c := 0; c < g.CMPs; c++ {
+		s.L1Ds[c] = make([]*L1Ctrl, g.ProcsPerCMP)
+		s.L1Is[c] = make([]*L1Ctrl, g.ProcsPerCMP)
+		s.L2s[c] = make([]*L2Ctrl, g.L2Banks)
+		for b := 0; b < g.L2Banks; b++ {
+			l2 := newL2(s, g.L2Node(c, b), c, b)
+			s.L2s[c][b] = l2
+			s.Net.Attach(l2.id, l2)
+		}
+		for p := 0; p < g.ProcsPerCMP; p++ {
+			d := newL1(s, g.L1DNode(c, p), c, p, false)
+			i := newL1(s, g.L1INode(c, p), c, p, true)
+			d.banks = s.L2s[c]
+			i.banks = s.L2s[c]
+			s.L1Ds[c][p] = d
+			s.L1Is[c][p] = i
+			s.Net.Attach(d.id, d)
+			s.Net.Attach(i.id, i)
+		}
+		m := newMem(s, g.MemNode(c), c)
+		s.Mems[c] = m
+		s.Net.Attach(m.id, m)
+	}
+	return s
+}
+
+// Ports returns the data and instruction memory ports of a global
+// processor index.
+func (s *System) Ports(globalProc int) (data, inst cpu.MemPort) {
+	c, p := s.Geom.ProcOf(globalProc)
+	return s.L1Ds[c][p], s.L1Is[c][p]
+}
+
+// Name reports the variant name.
+func (s *System) Name() string { return s.Cfg.Variant.Name }
+
+// caches iterates over all cache controllers' base views.
+func (s *System) eachCacheState(fn func(id topo.NodeID, b mem.Block, st *token.State)) {
+	for c := range s.L1Ds {
+		for p := range s.L1Ds[c] {
+			id := s.L1Ds[c][p].id
+			s.L1Ds[c][p].cache.ForEach(func(b mem.Block, st *token.State) { fn(id, b, st) })
+			iid := s.L1Is[c][p].id
+			s.L1Is[c][p].cache.ForEach(func(b mem.Block, st *token.State) { fn(iid, b, st) })
+		}
+		for bk := range s.L2s[c] {
+			id := s.L2s[c][bk].id
+			s.L2s[c][bk].cache.ForEach(func(b mem.Block, st *token.State) { fn(id, b, st) })
+		}
+	}
+}
+
+// TokenAudit verifies the substrate's safety invariant for every
+// materialized block: exactly T tokens and exactly one owner token exist
+// across all caches, memory, and in-flight messages, and at most one
+// cache holds all T tokens.
+func (s *System) TokenAudit() error {
+	type tally struct {
+		tokens, owners int
+		writers        int
+	}
+	tallies := make(map[mem.Block]*tally)
+	get := func(b mem.Block) *tally {
+		t := tallies[b]
+		if t == nil {
+			t = &tally{}
+			tallies[b] = t
+		}
+		return t
+	}
+
+	s.eachCacheState(func(_ topo.NodeID, b mem.Block, st *token.State) {
+		t := get(b)
+		t.tokens += st.Tokens
+		if st.Owner {
+			t.owners++
+		}
+		if st.Tokens == s.Cfg.T {
+			t.writers++
+		}
+	})
+	for _, m := range s.Mems {
+		for _, b := range m.Touched() {
+			st, _ := m.StateOf(b)
+			t := get(b)
+			t.tokens += st.Tokens
+			if st.Owner {
+				t.owners++
+			}
+		}
+	}
+	for b, n := range s.Net.TokensInFlight {
+		get(b).tokens += n
+	}
+	for b, n := range s.Net.OwnersInFlight {
+		get(b).owners += n
+	}
+
+	for b, t := range tallies {
+		if t.tokens != s.Cfg.T {
+			return fmt.Errorf("token conservation violated for %v: have %d tokens, want %d", b, t.tokens, s.Cfg.T)
+		}
+		if t.owners != 1 {
+			return fmt.Errorf("owner-token invariant violated for %v: %d owners", b, t.owners)
+		}
+		if t.writers > 1 {
+			return fmt.Errorf("coherence invariant violated for %v: %d concurrent writers", b, t.writers)
+		}
+	}
+	return nil
+}
+
+// PersistentRequests totals persistent requests issued by all L1s.
+func (s *System) PersistentRequests() uint64 {
+	var n uint64
+	for c := range s.L1Ds {
+		for p := range s.L1Ds[c] {
+			n += s.L1Ds[c][p].Stats.PersistentReqs + s.L1Is[c][p].Stats.PersistentReqs
+		}
+	}
+	return n
+}
+
+// Misses totals L1 misses.
+func (s *System) Misses() uint64 {
+	var n uint64
+	for c := range s.L1Ds {
+		for p := range s.L1Ds[c] {
+			n += s.L1Ds[c][p].Stats.Misses + s.L1Is[c][p].Stats.Misses
+		}
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+// Package topo names the coherence endpoints of an M-CMP system and
+// provides the geometry arithmetic every protocol needs: which caches sit
+// in which CMP, which L2 bank serves a block, and where a block's home
+// memory controller lives.
+//
+// Endpoints are the units that hold tokens and protocol state: L1 data
+// caches, L1 instruction caches, L2 banks, and memory controllers.
+// Processors are not endpoints; they talk to their L1s directly.
+package topo
+
+import (
+	"fmt"
+
+	"tokencmp/internal/mem"
+)
+
+// NodeID identifies one coherence endpoint in the system.
+type NodeID int
+
+// None is the invalid NodeID.
+const None NodeID = -1
+
+// Kind classifies an endpoint.
+type Kind int
+
+// Endpoint kinds.
+const (
+	L1D Kind = iota
+	L1I
+	L2
+	Mem
+)
+
+func (k Kind) String() string {
+	switch k {
+	case L1D:
+		return "L1D"
+	case L1I:
+		return "L1I"
+	case L2:
+		return "L2"
+	case Mem:
+		return "Mem"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Geometry describes the shape of the machine (Table 3 defaults: 4 CMPs,
+// 4 processors per CMP, 4 L2 banks per CMP).
+type Geometry struct {
+	CMPs        int
+	ProcsPerCMP int
+	L2Banks     int // per CMP
+	Mapper      mem.Mapper
+}
+
+// NewGeometry builds a Geometry and its address mapper.
+func NewGeometry(cmps, procs, banks int) Geometry {
+	return Geometry{
+		CMPs:        cmps,
+		ProcsPerCMP: procs,
+		L2Banks:     banks,
+		Mapper:      mem.Mapper{Banks: banks, CMPs: cmps},
+	}
+}
+
+// Per-CMP node layout: [L1D x procs][L1I x procs][L2 x banks][Mem].
+func (g Geometry) nodesPerCMP() int { return 2*g.ProcsPerCMP + g.L2Banks + 1 }
+
+// NumNodes reports the total number of endpoints.
+func (g Geometry) NumNodes() int { return g.CMPs * g.nodesPerCMP() }
+
+// TotalProcs reports the number of processors in the system.
+func (g Geometry) TotalProcs() int { return g.CMPs * g.ProcsPerCMP }
+
+// L1DNode returns the L1 data cache of processor p on CMP c.
+func (g Geometry) L1DNode(c, p int) NodeID {
+	return NodeID(c*g.nodesPerCMP() + p)
+}
+
+// L1INode returns the L1 instruction cache of processor p on CMP c.
+func (g Geometry) L1INode(c, p int) NodeID {
+	return NodeID(c*g.nodesPerCMP() + g.ProcsPerCMP + p)
+}
+
+// L2Node returns L2 bank b on CMP c.
+func (g Geometry) L2Node(c, b int) NodeID {
+	return NodeID(c*g.nodesPerCMP() + 2*g.ProcsPerCMP + b)
+}
+
+// MemNode returns the memory controller of CMP c.
+func (g Geometry) MemNode(c int) NodeID {
+	return NodeID(c*g.nodesPerCMP() + 2*g.ProcsPerCMP + g.L2Banks)
+}
+
+// CMPOf reports which CMP an endpoint belongs to.
+func (g Geometry) CMPOf(id NodeID) int { return int(id) / g.nodesPerCMP() }
+
+// KindOf classifies an endpoint.
+func (g Geometry) KindOf(id NodeID) Kind {
+	off := int(id) % g.nodesPerCMP()
+	switch {
+	case off < g.ProcsPerCMP:
+		return L1D
+	case off < 2*g.ProcsPerCMP:
+		return L1I
+	case off < 2*g.ProcsPerCMP+g.L2Banks:
+		return L2
+	default:
+		return Mem
+	}
+}
+
+// IndexOf reports an endpoint's index within its kind on its CMP (the
+// processor number for L1s, the bank number for L2s, 0 for memory).
+func (g Geometry) IndexOf(id NodeID) int {
+	off := int(id) % g.nodesPerCMP()
+	switch {
+	case off < g.ProcsPerCMP:
+		return off
+	case off < 2*g.ProcsPerCMP:
+		return off - g.ProcsPerCMP
+	case off < 2*g.ProcsPerCMP+g.L2Banks:
+		return off - 2*g.ProcsPerCMP
+	default:
+		return 0
+	}
+}
+
+// IsCache reports whether id is a cache (anything but a memory
+// controller).
+func (g Geometry) IsCache(id NodeID) bool { return g.KindOf(id) != Mem }
+
+// SameCMP reports whether two endpoints share a chip.
+func (g Geometry) SameCMP(a, b NodeID) bool { return g.CMPOf(a) == g.CMPOf(b) }
+
+// L2BankFor returns the L2 bank on CMP c that serves block b.
+func (g Geometry) L2BankFor(c int, b mem.Block) NodeID {
+	return g.L2Node(c, g.Mapper.Bank(b))
+}
+
+// HomeMem returns the home memory controller for block b.
+func (g Geometry) HomeMem(b mem.Block) NodeID {
+	return g.MemNode(g.Mapper.HomeCMP(b))
+}
+
+// AllNodes lists every endpoint.
+func (g Geometry) AllNodes() []NodeID {
+	out := make([]NodeID, g.NumNodes())
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// AllCaches lists every cache endpoint in the system.
+func (g Geometry) AllCaches() []NodeID {
+	var out []NodeID
+	for _, id := range g.AllNodes() {
+		if g.IsCache(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CachesInCMP lists the caches on CMP c.
+func (g Geometry) CachesInCMP(c int) []NodeID {
+	var out []NodeID
+	for p := 0; p < g.ProcsPerCMP; p++ {
+		out = append(out, g.L1DNode(c, p), g.L1INode(c, p))
+	}
+	for b := 0; b < g.L2Banks; b++ {
+		out = append(out, g.L2Node(c, b))
+	}
+	return out
+}
+
+// L1sInCMP lists the L1 caches (data and instruction) on CMP c.
+func (g Geometry) L1sInCMP(c int) []NodeID {
+	var out []NodeID
+	for p := 0; p < g.ProcsPerCMP; p++ {
+		out = append(out, g.L1DNode(c, p), g.L1INode(c, p))
+	}
+	return out
+}
+
+// Mems lists every memory controller.
+func (g Geometry) Mems() []NodeID {
+	out := make([]NodeID, g.CMPs)
+	for c := 0; c < g.CMPs; c++ {
+		out[c] = g.MemNode(c)
+	}
+	return out
+}
+
+// CachesPerCMP reports C, the number of caches on one CMP node; the
+// TokenCMP read-response optimization returns C tokens when possible.
+func (g Geometry) CachesPerCMP() int { return 2*g.ProcsPerCMP + g.L2Banks }
+
+// ProcPriority returns the fixed persistent-request priority of processor
+// p on CMP c: lower is higher priority, and least-significant bits vary
+// within a CMP so that contended handoffs favor on-chip neighbors (§3.2).
+func (g Geometry) ProcPriority(c, p int) int { return c*g.ProcsPerCMP + p }
+
+// GlobalProc returns the global processor index of processor p on CMP c.
+func (g Geometry) GlobalProc(c, p int) int { return c*g.ProcsPerCMP + p }
+
+// ProcOf inverts GlobalProc.
+func (g Geometry) ProcOf(global int) (cmp, proc int) {
+	return global / g.ProcsPerCMP, global % g.ProcsPerCMP
+}

@@ -1,0 +1,118 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tokencmp/internal/mem"
+)
+
+func TestGeometryRoundTrip(t *testing.T) {
+	g := NewGeometry(4, 4, 4)
+	if g.NumNodes() != 4*(2*4+4+1) {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+	for c := 0; c < 4; c++ {
+		for p := 0; p < 4; p++ {
+			for _, pair := range []struct {
+				id   NodeID
+				kind Kind
+			}{
+				{g.L1DNode(c, p), L1D},
+				{g.L1INode(c, p), L1I},
+			} {
+				if g.KindOf(pair.id) != pair.kind {
+					t.Errorf("KindOf(%v) = %v, want %v", pair.id, g.KindOf(pair.id), pair.kind)
+				}
+				if g.CMPOf(pair.id) != c || g.IndexOf(pair.id) != p {
+					t.Errorf("CMP/Index of %v = %d/%d, want %d/%d",
+						pair.id, g.CMPOf(pair.id), g.IndexOf(pair.id), c, p)
+				}
+			}
+		}
+		if g.KindOf(g.MemNode(c)) != Mem || g.CMPOf(g.MemNode(c)) != c {
+			t.Errorf("mem node %d misclassified", c)
+		}
+		for b := 0; b < 4; b++ {
+			id := g.L2Node(c, b)
+			if g.KindOf(id) != L2 || g.IndexOf(id) != b {
+				t.Errorf("L2 node (%d,%d) misclassified", c, b)
+			}
+		}
+	}
+}
+
+func TestNodeSetSizes(t *testing.T) {
+	g := NewGeometry(4, 4, 4)
+	if got := len(g.AllCaches()); got != 48 {
+		t.Errorf("caches = %d, want 48", got)
+	}
+	if got := len(g.Mems()); got != 4 {
+		t.Errorf("mems = %d, want 4", got)
+	}
+	if got := len(g.L1sInCMP(0)); got != 8 {
+		t.Errorf("L1s per CMP = %d, want 8", got)
+	}
+	if got := g.CachesPerCMP(); got != 12 {
+		t.Errorf("caches per CMP = %d, want 12", got)
+	}
+}
+
+func TestProcMapping(t *testing.T) {
+	g := NewGeometry(4, 4, 4)
+	for gp := 0; gp < g.TotalProcs(); gp++ {
+		c, p := g.ProcOf(gp)
+		if g.GlobalProc(c, p) != gp {
+			t.Errorf("proc mapping not a bijection at %d", gp)
+		}
+	}
+}
+
+func TestPriorityLocality(t *testing.T) {
+	g := NewGeometry(4, 4, 4)
+	// Priorities within a CMP must be consecutive, so contended handoffs
+	// favor on-chip neighbors (§3.2).
+	for c := 0; c < 4; c++ {
+		for p := 0; p < 3; p++ {
+			if g.ProcPriority(c, p+1)-g.ProcPriority(c, p) != 1 {
+				t.Fatal("priorities not consecutive within a CMP")
+			}
+		}
+	}
+}
+
+func TestHomeAndBankMapping(t *testing.T) {
+	g := NewGeometry(4, 4, 4)
+	counts := map[NodeID]int{}
+	for b := 0; b < 1024; b++ {
+		counts[g.HomeMem(mem.Block(b))]++
+	}
+	for _, m := range g.Mems() {
+		if counts[m] != 256 {
+			t.Errorf("home %v serves %d of 1024 blocks, want 256", m, counts[m])
+		}
+	}
+}
+
+// Property: every NodeID classifies into exactly one kind and round-trips
+// through its constructor.
+func TestPropertyKindPartition(t *testing.T) {
+	g := NewGeometry(4, 4, 4)
+	f := func(raw uint8) bool {
+		id := NodeID(int(raw) % g.NumNodes())
+		c := g.CMPOf(id)
+		switch g.KindOf(id) {
+		case L1D:
+			return g.L1DNode(c, g.IndexOf(id)) == id
+		case L1I:
+			return g.L1INode(c, g.IndexOf(id)) == id
+		case L2:
+			return g.L2Node(c, g.IndexOf(id)) == id
+		default:
+			return g.MemNode(c) == id
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"testing"
+
+	"tokencmp/internal/cpu"
+	"tokencmp/internal/mem"
+	"tokencmp/internal/sim"
+)
+
+// fakeMemory runs a Program against an instantly-coherent memory,
+// checking the program logic independent of any protocol.
+type fakeMemory struct {
+	values map[mem.Block]uint64
+	ops    int
+}
+
+func runProgram(t *testing.T, p cpu.Program, fm *fakeMemory, limit int) bool {
+	t.Helper()
+	if fm.values == nil {
+		fm.values = map[mem.Block]uint64{}
+	}
+	var last uint64
+	for i := 0; i < limit; i++ {
+		act := p.Next(sim.Time(i), last)
+		last = 0
+		b := mem.BlockOf(act.Addr)
+		switch act.Kind {
+		case cpu.ActThink:
+		case cpu.ActLoad, cpu.ActIFetch:
+			last = fm.values[b]
+			fm.ops++
+		case cpu.ActStore:
+			fm.values[b] = act.Value
+			fm.ops++
+		case cpu.ActAtomic:
+			last = fm.values[b]
+			fm.values[b] = act.Value
+			fm.ops++
+		case cpu.ActDone:
+			return true
+		}
+	}
+	return false
+}
+
+func TestLockingProgramCompletes(t *testing.T) {
+	cfg := DefaultLocking(4)
+	cfg.Acquires = 10
+	mon := NewLockMonitor()
+	p := NewLockingProgram(cfg, 0, 1, mon)
+	fm := &fakeMemory{}
+	if !runProgram(t, p, fm, 100000) {
+		t.Fatal("program did not finish")
+	}
+	if p.Acquired() != 10 {
+		t.Errorf("acquired = %d, want 10", p.Acquired())
+	}
+	if mon.Acquires != 10 || len(mon.Violations) != 0 {
+		t.Errorf("monitor: %d acquires, %d violations", mon.Acquires, len(mon.Violations))
+	}
+	// All locks must be free at the end.
+	for b, v := range fm.values {
+		if v != 0 {
+			t.Errorf("lock %v left held (%d)", b, v)
+		}
+	}
+}
+
+func TestLockingAvoidsLastLock(t *testing.T) {
+	cfg := DefaultLocking(8)
+	p := NewLockingProgram(cfg, 0, 1, nil)
+	last := mem.Addr(0)
+	for i := 0; i < 50; i++ {
+		p.pickLock()
+		if p.lock == last && cfg.Locks > 1 {
+			t.Fatal("picked the same lock twice in a row")
+		}
+		last = p.lock
+	}
+}
+
+func TestLockMonitorDetectsViolation(t *testing.T) {
+	mon := NewLockMonitor()
+	mon.Enter(0x100, 0)
+	mon.Enter(0x100, 1) // second holder: violation
+	if len(mon.Violations) != 1 {
+		t.Fatalf("violations = %d, want 1", len(mon.Violations))
+	}
+}
+
+func TestBarrierProgramSoloCompletes(t *testing.T) {
+	cfg := DefaultBarrier(1, 0)
+	cfg.Iterations = 5
+	p := NewBarrierProgram(cfg, 0, 1, nil)
+	fm := &fakeMemory{}
+	if !runProgram(t, p, fm, 100000) {
+		t.Fatal("single-processor barrier did not finish")
+	}
+	if p.Rounds() != 5 {
+		t.Errorf("rounds = %d, want 5", p.Rounds())
+	}
+}
+
+func TestBarrierProgramsInterleaved(t *testing.T) {
+	// Round-robin two barrier threads against shared fake memory: the
+	// sense-reversing protocol must let both finish every round.
+	cfg := DefaultBarrier(2, 0)
+	cfg.Iterations = 4
+	mon := NewLockMonitor()
+	p0 := NewBarrierProgram(cfg, 0, 1, mon)
+	p1 := NewBarrierProgram(cfg, 1, 1, mon)
+	fm := &fakeMemory{values: map[mem.Block]uint64{}}
+	var last0, last1 uint64
+	done0, done1 := false, false
+	step := func(p *BarrierProgram, last *uint64, done *bool) {
+		if *done {
+			return
+		}
+		act := p.Next(0, *last)
+		*last = 0
+		b := mem.BlockOf(act.Addr)
+		switch act.Kind {
+		case cpu.ActLoad:
+			*last = fm.values[b]
+		case cpu.ActStore:
+			fm.values[b] = act.Value
+		case cpu.ActAtomic:
+			*last = fm.values[b]
+			fm.values[b] = act.Value
+		case cpu.ActDone:
+			*done = true
+		}
+	}
+	for i := 0; i < 100000 && !(done0 && done1); i++ {
+		step(p0, &last0, &done0)
+		step(p1, &last1, &done1)
+	}
+	if !done0 || !done1 {
+		t.Fatalf("barrier threads stuck (rounds %d/%d)", p0.Rounds(), p1.Rounds())
+	}
+	if len(mon.Violations) != 0 {
+		t.Errorf("violations: %v", mon.Violations)
+	}
+}
+
+func TestBarrierJitterBounded(t *testing.T) {
+	cfg := DefaultBarrier(2, sim.NS(1000))
+	p := NewBarrierProgram(cfg, 0, 1, nil)
+	for i := 0; i < 1000; i++ {
+		w := p.work()
+		if w < sim.NS(2000) || w > sim.NS(4000) {
+			t.Fatalf("work %v outside 3000±1000 ns", w)
+		}
+	}
+}
+
+func TestCommercialProgramCompletes(t *testing.T) {
+	for _, params := range []CommercialParams{OLTP(), Apache(), SPECjbb()} {
+		params.TxnsPerProc = 3
+		mon := NewLockMonitor()
+		p := NewCommercialProgram(params, 0, 1, mon)
+		fm := &fakeMemory{}
+		if !runProgram(t, p, fm, 1000000) {
+			t.Fatalf("%s program did not finish", params.Name)
+		}
+		if p.Transactions() != 3 {
+			t.Errorf("%s transactions = %d, want 3", params.Name, p.Transactions())
+		}
+		if len(mon.Violations) != 0 {
+			t.Errorf("%s violations: %v", params.Name, mon.Violations)
+		}
+		if fm.ops == 0 {
+			t.Errorf("%s issued no memory operations", params.Name)
+		}
+	}
+}
+
+func TestCommercialDeterministicPerSeed(t *testing.T) {
+	gen := func(seed int64) []cpu.Action {
+		p := NewCommercialProgram(OLTP(), 2, seed, nil)
+		var acts []cpu.Action
+		var last uint64
+		for i := 0; i < 200; i++ {
+			a := p.Next(0, last)
+			last = 0
+			acts = append(acts, a)
+			if a.Kind == cpu.ActDone {
+				break
+			}
+		}
+		return acts
+	}
+	a, b := gen(7), gen(7)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("action %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := gen(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestCommercialAddressRegionsDisjoint(t *testing.T) {
+	p := NewCommercialProgram(OLTP(), 1, 1, nil)
+	var last uint64
+	private := map[mem.Block]bool{}
+	for i := 0; i < 5000; i++ {
+		a := p.Next(0, last)
+		last = 0
+		if a.Kind == cpu.ActDone {
+			break
+		}
+		if a.Kind == cpu.ActStore || a.Kind == cpu.ActLoad {
+			if a.Addr >= privateBase && a.Addr < sharedBase {
+				private[mem.BlockOf(a.Addr)] = true
+			}
+		}
+	}
+	// Proc 1's private blocks must not collide with proc 0's range.
+	for b := range private {
+		idx := int(b.Addr()-privateBase) / mem.BlockSize
+		if idx < OLTP().PrivateBlocksPerProc {
+			t.Fatalf("proc 1 touched proc 0's private block %v", b)
+		}
+	}
+}
