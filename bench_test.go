@@ -14,6 +14,7 @@ import (
 	"tokencmp/internal/mc"
 	"tokencmp/internal/mc/models"
 	"tokencmp/internal/network"
+	"tokencmp/internal/runner"
 	"tokencmp/internal/sim"
 	"tokencmp/internal/stats"
 	"tokencmp/internal/tokencmp"
@@ -29,6 +30,9 @@ func benchOpts() experiments.Options {
 	opt.Acquires = 12
 	opt.Barriers = 5
 	opt.TxnsPerProc = 8
+	// Fan independent (protocol, config, seed) runs across all cores;
+	// the merged figures are byte-identical to a serial run.
+	opt.Jobs = runner.DefaultJobs()
 	return opt
 }
 
@@ -147,8 +151,8 @@ func benchTraffic(b *testing.B, level stats.Level, tag string) {
 func BenchmarkSec5ModelCheck(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := models.DefaultTokenConfig(models.SafetyOnly)
-		safety := mc.Check(models.NewTokenModel(cfg), 0)
-		dir := mc.Check(models.DefaultDirModel(), 0)
+		safety := mc.CheckJobs(models.NewTokenModel(cfg), 0, runner.DefaultJobs())
+		dir := mc.CheckJobs(models.DefaultDirModel(), 0, runner.DefaultJobs())
 		if !safety.OK() || !dir.OK() {
 			b.Fatal("model checking failed")
 		}

@@ -16,12 +16,14 @@ func main() {
 	var (
 		barriers = flag.Int("barriers", 20, "barrier rounds")
 		seeds    = flag.Int("seeds", 3, "perturbed runs per configuration")
+		jobs     = flag.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU)")
 	)
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
 	opt.Barriers = *barriers
 	opt.Seeds = *seeds
+	opt.Jobs = *jobs
 
 	protos := []string{
 		"TokenCMP-arb0", "TokenCMP-dst0",

@@ -22,12 +22,14 @@ func main() {
 		mode     = flag.String("mode", "both", "persistent (Fig 2), transient (Fig 3), or both")
 		acquires = flag.Int("acquires", 32, "acquires per processor")
 		seeds    = flag.Int("seeds", 3, "perturbed runs per point")
+		jobs     = flag.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU)")
 	)
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
 	opt.Acquires = *acquires
 	opt.Seeds = *seeds
+	opt.Jobs = *jobs
 	lockCounts := []int{2, 4, 8, 16, 32, 64, 128, 256, 512}
 
 	if *mode == "persistent" || *mode == "both" {

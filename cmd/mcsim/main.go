@@ -1,10 +1,13 @@
 // mcsim runs one workload on one protocol of the simulated M-CMP system
-// and prints runtime, traffic, and protocol statistics.
+// and prints runtime, traffic, and protocol statistics. With -seeds > 1
+// it fans the perturbed runs out across a worker pool (-jobs) and
+// reports the mean runtime with its 95% confidence interval.
 //
 // Usage:
 //
 //	mcsim -proto TokenCMP-dst1 -workload locking -locks 32 -acquires 64
 //	mcsim -proto DirectoryCMP -workload OLTP
+//	mcsim -proto DirectoryCMP -workload OLTP -seeds 8 -jobs 4
 //	mcsim -list
 package main
 
@@ -16,12 +19,20 @@ import (
 	"tokencmp/internal/cpu"
 	"tokencmp/internal/experiments"
 	"tokencmp/internal/machine"
+	"tokencmp/internal/runner"
 	"tokencmp/internal/sim"
 	"tokencmp/internal/stats"
 	"tokencmp/internal/tokencmp"
 	"tokencmp/internal/topo"
 	"tokencmp/internal/workload"
 )
+
+// oneRun is the result of a single-seed simulation.
+type oneRun struct {
+	res   machine.Result
+	mon   *workload.LockMonitor
+	proto string
+}
 
 func main() {
 	var (
@@ -35,7 +46,9 @@ func main() {
 		cmps     = flag.Int("cmps", 4, "CMP count")
 		procs    = flag.Int("procs", 4, "processors per CMP")
 		banks    = flag.Int("banks", 4, "L2 banks per CMP")
-		seed     = flag.Int64("seed", 1, "perturbation seed")
+		seed     = flag.Int64("seed", 1, "perturbation seed (first of -seeds)")
+		seeds    = flag.Int("seeds", 1, "perturbed runs (mean ± CI when > 1)")
+		jobs     = flag.Int("jobs", 0, "concurrent runs (0 = one per CPU)")
 		check    = flag.Bool("check", false, "enable coherence monitors")
 		list     = flag.Bool("list", false, "list protocols and exit")
 	)
@@ -54,57 +67,101 @@ func main() {
 		return
 	}
 
+	if *seeds < 1 {
+		fmt.Fprintln(os.Stderr, "mcsim: -seeds must be >= 1")
+		os.Exit(2)
+	}
+
 	g := topo.NewGeometry(*cmps, *procs, *banks)
-	m, err := machine.New(machine.Config{
-		Protocol:         *proto,
-		Geom:             g,
-		Seed:             *seed,
-		CheckConsistency: *check,
-		AuditTokens:      *check,
+	runOne := func(s int64) (oneRun, error) {
+		m, err := machine.New(machine.Config{
+			Protocol:         *proto,
+			Geom:             g,
+			Seed:             s,
+			CheckConsistency: *check,
+			AuditTokens:      *check,
+		})
+		if err != nil {
+			return oneRun{}, err
+		}
+		var progs []cpu.Program
+		var mon *workload.LockMonitor
+		switch *wl {
+		case "locking":
+			lc := workload.DefaultLocking(*locks)
+			lc.Acquires = *acquires
+			progs, mon = workload.LockingPrograms(lc, g.TotalProcs(), s)
+		case "barrier":
+			bc := workload.DefaultBarrier(g.TotalProcs(), sim.NS(*jitter))
+			bc.Iterations = *barriers
+			progs, mon = workload.BarrierPrograms(bc, s)
+		default:
+			params, perr := experiments.CommercialParamsFor(*wl)
+			if perr != nil {
+				return oneRun{}, perr
+			}
+			params.TxnsPerProc = *txns
+			progs, mon = workload.CommercialPrograms(params, g.TotalProcs(), s)
+		}
+		res, err := m.Run(progs, 0)
+		if err != nil {
+			return oneRun{}, err
+		}
+		return oneRun{res: res, mon: mon, proto: m.Proto.Name()}, nil
+	}
+
+	runs, err := runner.Map(runner.New(*jobs), *seeds, func(i int) (oneRun, error) {
+		return runOne(*seed + int64(i))
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	var progs []cpu.Program
-	var mon *workload.LockMonitor
-	switch *wl {
-	case "locking":
-		lc := workload.DefaultLocking(*locks)
-		lc.Acquires = *acquires
-		progs, mon = workload.LockingPrograms(lc, g.TotalProcs(), *seed)
-	case "barrier":
-		bc := workload.DefaultBarrier(g.TotalProcs(), sim.NS(*jitter))
-		bc.Iterations = *barriers
-		progs, mon = workload.BarrierPrograms(bc, *seed)
-	default:
-		params, perr := experiments.CommercialParamsFor(*wl)
-		if perr != nil {
-			fmt.Fprintln(os.Stderr, perr)
-			os.Exit(1)
+	fmt.Printf("protocol:   %s\n", runs[0].proto)
+	fmt.Printf("workload:   %s\n", *wl)
+	if *seeds == 1 {
+		res, mon := runs[0].res, runs[0].mon
+		fmt.Printf("runtime:    %v\n", res.Runtime)
+		fmt.Printf("events:     %d\n", res.Events)
+		fmt.Printf("L1 misses:  %d\n", res.Misses)
+		if res.Misses > 0 {
+			fmt.Printf("persistent: %d (%.3f%% of misses)\n", res.Persistent,
+				100*float64(res.Persistent)/float64(res.Misses))
 		}
-		params.TxnsPerProc = *txns
-		progs, mon = workload.CommercialPrograms(params, g.TotalProcs(), *seed)
+		fmt.Printf("acquires:   %d (mutual-exclusion violations: %d)\n", mon.Acquires, len(mon.Violations))
+		for _, lvl := range []stats.Level{stats.IntraCMP, stats.InterCMP} {
+			fmt.Printf("%s traffic: %d bytes in %d messages\n",
+				lvl, res.Traffic.TotalBytes(lvl), res.Traffic.TotalMessages(lvl))
+		}
+		return
 	}
 
-	res, err := m.Run(progs, 0)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	// Multi-seed summary: runtime mean ± 95% CI, totals over all runs.
+	var runtime stats.Sample
+	var traffic stats.Traffic
+	var misses, persistent, events, totalAcq uint64
+	violations := 0
+	for _, r := range runs {
+		runtime.Add(float64(r.res.Runtime) / float64(sim.Nanosecond))
+		traffic.Merge(&r.res.Traffic)
+		misses += r.res.Misses
+		persistent += r.res.Persistent
+		events += r.res.Events
+		totalAcq += r.mon.Acquires
+		violations += len(r.mon.Violations)
 	}
-	fmt.Printf("protocol:   %s\n", m.Proto.Name())
-	fmt.Printf("workload:   %s\n", *wl)
-	fmt.Printf("runtime:    %v\n", res.Runtime)
-	fmt.Printf("events:     %d\n", res.Events)
-	fmt.Printf("L1 misses:  %d\n", res.Misses)
-	if res.Misses > 0 {
-		fmt.Printf("persistent: %d (%.3f%% of misses)\n", res.Persistent,
-			100*float64(res.Persistent)/float64(res.Misses))
+	fmt.Printf("runs:       %d (seeds %d..%d)\n", *seeds, *seed, *seed+int64(*seeds)-1)
+	fmt.Printf("runtime:    %s ns\n", runtime.String())
+	fmt.Printf("events:     %d\n", events)
+	fmt.Printf("L1 misses:  %d\n", misses)
+	if misses > 0 {
+		fmt.Printf("persistent: %d (%.3f%% of misses)\n", persistent,
+			100*float64(persistent)/float64(misses))
 	}
-	fmt.Printf("acquires:   %d (mutual-exclusion violations: %d)\n", mon.Acquires, len(mon.Violations))
+	fmt.Printf("acquires:   %d (mutual-exclusion violations: %d)\n", totalAcq, violations)
 	for _, lvl := range []stats.Level{stats.IntraCMP, stats.InterCMP} {
 		fmt.Printf("%s traffic: %d bytes in %d messages\n",
-			lvl, res.Traffic.TotalBytes(lvl), res.Traffic.TotalMessages(lvl))
+			lvl, traffic.TotalBytes(lvl), traffic.TotalMessages(lvl))
 	}
 }

@@ -32,7 +32,8 @@ func modelLoC(path string) int {
 func main() {
 	var (
 		tokens = flag.Int("tokens", 4, "tokens per block in the token models")
-		limit  = flag.Int("limit", 0, "state-count limit (0 = unbounded)")
+		limit  = flag.Int("limit", 0, "exact state-count cap (0 = the 5,000,000 default)")
+		jobs   = flag.Int("jobs", 0, "concurrent frontier-expansion workers (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 	fmt.Println()
 
 	run := func(m mc.Model) {
-		res := mc.Check(m, *limit)
+		res := mc.CheckJobs(m, *limit, *jobs)
 		fmt.Println(res)
 	}
 	for _, act := range []models.Activation{models.SafetyOnly, models.ArbiterAct, models.DistributedAct} {

@@ -24,12 +24,14 @@ func main() {
 		what  = flag.String("what", "all", "runtime (Fig 6), inter (Fig 7a), intra (Fig 7b), or all")
 		txns  = flag.Int("txns", 30, "transactions per processor")
 		seeds = flag.Int("seeds", 3, "perturbed runs per configuration")
+		jobs  = flag.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU)")
 	)
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
 	opt.TxnsPerProc = *txns
 	opt.Seeds = *seeds
+	opt.Jobs = *jobs
 
 	protos := []string{
 		"DirectoryCMP", "DirectoryCMP-zero",

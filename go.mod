@@ -1,0 +1,3 @@
+module tokencmp
+
+go 1.24

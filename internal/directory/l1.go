@@ -48,11 +48,11 @@ type wbEntry struct {
 
 // L1Stats counts per-L1 events.
 type L1Stats struct {
-	Hits, Misses uint64
-	Writebacks   uint64
+	Hits, Misses  uint64
+	Writebacks    uint64
 	Invalidations uint64
-	FwdsServed   uint64
-	Migratory    uint64
+	FwdsServed    uint64
+	Migratory     uint64
 }
 
 // L1Ctrl is a DirectoryCMP L1 cache controller.

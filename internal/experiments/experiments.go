@@ -14,6 +14,7 @@ import (
 
 	"tokencmp/internal/cpu"
 	"tokencmp/internal/machine"
+	"tokencmp/internal/runner"
 	"tokencmp/internal/sim"
 	"tokencmp/internal/stats"
 	"tokencmp/internal/topo"
@@ -25,6 +26,13 @@ type Options struct {
 	Geom  topo.Geometry
 	Seeds int    // perturbed runs per configuration
 	Limit uint64 // event cap per run (0 = default)
+
+	// Jobs bounds how many simulation runs execute concurrently
+	// (0 = one per CPU). Every (protocol, configuration, seed) run is
+	// independent — it owns its rand.Rand, sim.Engine, and
+	// machine.Machine — and results merge in a fixed serial order, so
+	// output is byte-identical for any Jobs value.
+	Jobs int
 
 	// Workload scale knobs (smaller = faster benches).
 	Acquires    int // locking: acquires per processor
@@ -87,20 +95,54 @@ type Cell struct {
 	Persist uint64
 }
 
-// runCell runs all seeds for a configuration.
-func runCell(proto string, opt Options, progs func(m *machine.Machine, s int64) []cpu.Program) (*Cell, error) {
-	c := &Cell{}
-	for s := 0; s < opt.Seeds; s++ {
-		res, err := run(proto, opt, int64(s+1), progs)
-		if err != nil {
-			return nil, err
-		}
-		c.Runtime.Add(float64(res.Runtime) / float64(sim.Nanosecond))
-		c.Traffic.Merge(&res.Traffic)
-		c.Misses += res.Misses
-		c.Persist += res.Persistent
+// cellTask describes one (protocol, configuration) cell; runCells runs
+// its opt.Seeds perturbed seeds through the shared worker pool.
+type cellTask struct {
+	proto string
+	opt   Options
+	progs func(m *machine.Machine, s int64) []cpu.Program
+}
+
+// runCells executes every (task, seed) pair through a bounded worker
+// pool — the whole experiment fans out at once, not one cell at a time —
+// and then merges each task's seed results in ascending seed order into
+// index-addressed cells. The merge order is fixed, so the returned
+// cells are identical to a serial nested-loop run for any jobs value.
+func runCells(tasks []cellTask, jobs int) ([]*Cell, error) {
+	offsets := make([]int, len(tasks)+1)
+	for i, t := range tasks {
+		offsets[i+1] = offsets[i] + t.opt.Seeds
 	}
-	return c, nil
+	results := make([]machine.Result, offsets[len(tasks)])
+	pool := runner.New(jobs)
+	err := pool.Run(len(results), func(i int) error {
+		// ti is the task owning flat slot i: the smallest index with
+		// offsets[ti+1] > i.
+		ti := sort.SearchInts(offsets[1:], i+1)
+		t := tasks[ti]
+		res, err := run(t.proto, t.opt, int64(i-offsets[ti]+1), t.progs)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]*Cell, len(tasks))
+	for ti := range tasks {
+		c := &Cell{}
+		for s := offsets[ti]; s < offsets[ti+1]; s++ {
+			res := &results[s]
+			c.Runtime.Add(float64(res.Runtime) / float64(sim.Nanosecond))
+			c.Traffic.Merge(&res.Traffic)
+			c.Misses += res.Misses
+			c.Persist += res.Persistent
+		}
+		cells[ti] = c
+	}
+	return cells, nil
 }
 
 // LockSweep is the Figure 2 / Figure 3 experiment.
@@ -111,43 +153,57 @@ type LockSweep struct {
 }
 
 // RunLockSweep measures the locking micro-benchmark across lock counts.
+// Every (protocol, lock count, seed) run goes through the worker pool.
 func RunLockSweep(protocols []string, lockCounts []int, opt Options) (*LockSweep, error) {
-	out := &LockSweep{LockCounts: lockCounts, Protocols: protocols, Cells: map[string][]*Cell{}}
+	var tasks []cellTask
 	for _, proto := range protocols {
 		for _, locks := range lockCounts {
 			locks := locks
-			cell, err := runCell(proto, opt, func(m *machine.Machine, seed int64) []cpu.Program {
-				lc := workload.DefaultLocking(locks)
-				if opt.Acquires > 0 {
-					lc.Acquires = opt.Acquires
-				}
-				progs, _ := workload.LockingPrograms(lc, m.Cfg.Geom.TotalProcs(), seed)
-				return progs
-			})
-			if err != nil {
-				return nil, err
-			}
-			out.Cells[proto] = append(out.Cells[proto], cell)
+			tasks = append(tasks, cellTask{proto: proto, opt: opt,
+				progs: func(m *machine.Machine, seed int64) []cpu.Program {
+					lc := workload.DefaultLocking(locks)
+					if opt.Acquires > 0 {
+						lc.Acquires = opt.Acquires
+					}
+					progs, _ := workload.LockingPrograms(lc, m.Cfg.Geom.TotalProcs(), seed)
+					return progs
+				}})
 		}
+	}
+	cells, err := runCells(tasks, opt.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &LockSweep{LockCounts: lockCounts, Protocols: protocols, Cells: map[string][]*Cell{}}
+	for pi, proto := range protocols {
+		out.Cells[proto] = cells[pi*len(lockCounts) : (pi+1)*len(lockCounts)]
 	}
 	return out, nil
 }
 
-// Baseline returns the normalization denominator: DirectoryCMP at the
-// largest (least contended) lock count, as in Figures 2 and 3.
-func (s *LockSweep) Baseline() float64 {
-	cells := s.Cells["DirectoryCMP"]
-	if len(cells) == 0 {
-		// Normalize against the first protocol instead.
-		cells = s.Cells[s.Protocols[0]]
+// baselineProto returns the protocol every figure and table normalizes
+// to: DirectoryCMP when measured, otherwise the first protocol listed.
+func baselineProto(protocols []string) string {
+	for _, p := range protocols {
+		if p == "DirectoryCMP" {
+			return p
+		}
 	}
+	return protocols[0]
+}
+
+// Baseline returns the normalization denominator: DirectoryCMP (or the
+// first protocol measured, when DirectoryCMP is absent) at the largest
+// (least contended) lock count, as in Figures 2 and 3.
+func (s *LockSweep) Baseline() float64 {
+	cells := s.Cells[baselineProto(s.Protocols)]
 	return cells[len(cells)-1].Runtime.Mean()
 }
 
 // Render prints the normalized runtime series (one row per lock count).
 func (s *LockSweep) Render(w io.Writer, title string) {
 	base := s.Baseline()
-	fmt.Fprintf(w, "%s (runtime normalized to DirectoryCMP @ %d locks)\n", title, s.LockCounts[len(s.LockCounts)-1])
+	fmt.Fprintf(w, "%s (runtime normalized to %s @ %d locks)\n", title, baselineProto(s.Protocols), s.LockCounts[len(s.LockCounts)-1])
 	fmt.Fprintf(w, "%8s", "locks")
 	for _, p := range s.Protocols {
 		fmt.Fprintf(w, " %22s", p)
@@ -170,38 +226,44 @@ type BarrierTable struct {
 	Jittered  map[string]*Cell // 3000 ns ± U(1000)
 }
 
-// RunBarrierTable measures the barrier micro-benchmark.
+// RunBarrierTable measures the barrier micro-benchmark. Every
+// (protocol, jitter, seed) run goes through the worker pool.
 func RunBarrierTable(protocols []string, opt Options) (*BarrierTable, error) {
-	out := &BarrierTable{Protocols: protocols, Fixed: map[string]*Cell{}, Jittered: map[string]*Cell{}}
+	jitters := []sim.Time{0, sim.NS(1000)}
+	var tasks []cellTask
 	for _, proto := range protocols {
-		for _, jitter := range []sim.Time{0, sim.NS(1000)} {
+		for _, jitter := range jitters {
 			jitter := jitter
-			cell, err := runCell(proto, opt, func(m *machine.Machine, seed int64) []cpu.Program {
-				bc := workload.DefaultBarrier(m.Cfg.Geom.TotalProcs(), jitter)
-				if opt.Barriers > 0 {
-					bc.Iterations = opt.Barriers
-				}
-				progs, _ := workload.BarrierPrograms(bc, seed)
-				return progs
-			})
-			if err != nil {
-				return nil, err
-			}
-			if jitter == 0 {
-				out.Fixed[proto] = cell
-			} else {
-				out.Jittered[proto] = cell
-			}
+			tasks = append(tasks, cellTask{proto: proto, opt: opt,
+				progs: func(m *machine.Machine, seed int64) []cpu.Program {
+					bc := workload.DefaultBarrier(m.Cfg.Geom.TotalProcs(), jitter)
+					if opt.Barriers > 0 {
+						bc.Iterations = opt.Barriers
+					}
+					progs, _ := workload.BarrierPrograms(bc, seed)
+					return progs
+				}})
 		}
+	}
+	cells, err := runCells(tasks, opt.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &BarrierTable{Protocols: protocols, Fixed: map[string]*Cell{}, Jittered: map[string]*Cell{}}
+	for pi, proto := range protocols {
+		out.Fixed[proto] = cells[pi*len(jitters)]
+		out.Jittered[proto] = cells[pi*len(jitters)+1]
 	}
 	return out, nil
 }
 
-// Render prints Table 4 (normalized to DirectoryCMP).
+// Render prints Table 4 (normalized to DirectoryCMP, or to the first
+// protocol measured when DirectoryCMP is absent).
 func (t *BarrierTable) Render(w io.Writer) {
-	baseF := t.Fixed["DirectoryCMP"].Runtime.Mean()
-	baseJ := t.Jittered["DirectoryCMP"].Runtime.Mean()
-	fmt.Fprintln(w, "Table 4: Barrier micro-benchmark runtime (normalized to DirectoryCMP)")
+	bp := baselineProto(t.Protocols)
+	baseF := t.Fixed[bp].Runtime.Mean()
+	baseJ := t.Jittered[bp].Runtime.Mean()
+	fmt.Fprintf(w, "Table 4: Barrier micro-benchmark runtime (normalized to %s)\n", bp)
 	fmt.Fprintf(w, "%-22s %16s %22s\n", "Protocol", "3000ns fixed", "3000ns + U(-1k,+1k)")
 	for _, p := range t.Protocols {
 		fmt.Fprintf(w, "%-22s %16.2f %22.2f\n", p,
@@ -230,8 +292,12 @@ func CommercialParamsFor(name string) (workload.CommercialParams, error) {
 }
 
 // RunCommercial measures the commercial surrogates on all protocols.
+// Every (workload, protocol, seed) run goes through the worker pool.
 func RunCommercial(workloads, protocols []string, opt Options) (*Commercial, error) {
-	out := &Commercial{Workloads: workloads, Protocols: protocols, Cells: map[string]map[string]*Cell{}}
+	runOpt := opt
+	runOpt.l1Size = opt.CommercialL1
+	runOpt.l2BankSize = opt.CommercialL2Bank
+	var tasks []cellTask
 	for _, wl := range workloads {
 		params, err := CommercialParamsFor(wl)
 		if err != nil {
@@ -240,18 +306,23 @@ func RunCommercial(workloads, protocols []string, opt Options) (*Commercial, err
 		if opt.TxnsPerProc > 0 {
 			params.TxnsPerProc = opt.TxnsPerProc
 		}
-		out.Cells[wl] = map[string]*Cell{}
-		opt.l1Size = opt.CommercialL1
-		opt.l2BankSize = opt.CommercialL2Bank
 		for _, proto := range protocols {
-			cell, err := runCell(proto, opt, func(m *machine.Machine, seed int64) []cpu.Program {
-				progs, _ := workload.CommercialPrograms(params, m.Cfg.Geom.TotalProcs(), seed)
-				return progs
-			})
-			if err != nil {
-				return nil, err
-			}
-			out.Cells[wl][proto] = cell
+			tasks = append(tasks, cellTask{proto: proto, opt: runOpt,
+				progs: func(m *machine.Machine, seed int64) []cpu.Program {
+					progs, _ := workload.CommercialPrograms(params, m.Cfg.Geom.TotalProcs(), seed)
+					return progs
+				}})
+		}
+	}
+	cells, err := runCells(tasks, opt.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Commercial{Workloads: workloads, Protocols: protocols, Cells: map[string]map[string]*Cell{}}
+	for wi, wl := range workloads {
+		out.Cells[wl] = map[string]*Cell{}
+		for pi, proto := range protocols {
+			out.Cells[wl][proto] = cells[wi*len(protocols)+pi]
 		}
 	}
 	return out, nil
@@ -260,7 +331,8 @@ func RunCommercial(workloads, protocols []string, opt Options) (*Commercial, err
 // RenderRuntime prints Figure 6 (runtime normalized to DirectoryCMP,
 // with the speedup the paper quotes: runtime(Dir)/runtime(Token) - 1).
 func (c *Commercial) RenderRuntime(w io.Writer) {
-	fmt.Fprintln(w, "Figure 6: Commercial workload runtime (normalized to DirectoryCMP)")
+	bp := baselineProto(c.Protocols)
+	fmt.Fprintf(w, "Figure 6: Commercial workload runtime (normalized to %s)\n", bp)
 	fmt.Fprintf(w, "%-22s", "Protocol")
 	for _, wl := range c.Workloads {
 		fmt.Fprintf(w, " %18s", wl)
@@ -269,20 +341,20 @@ func (c *Commercial) RenderRuntime(w io.Writer) {
 	for _, p := range c.Protocols {
 		fmt.Fprintf(w, "%-22s", p)
 		for _, wl := range c.Workloads {
-			base := c.Cells[wl]["DirectoryCMP"].Runtime.Mean()
+			base := c.Cells[wl][bp].Runtime.Mean()
 			cell := c.Cells[wl][p]
 			fmt.Fprintf(w, " %10.3f ±%5.3f", cell.Runtime.Mean()/base, cell.Runtime.CI95()/base)
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintln(w, "\nSpeedup vs DirectoryCMP (runtime(Dir)/runtime(X) - 1):")
+	fmt.Fprintf(w, "\nSpeedup vs %s (runtime(%s)/runtime(X) - 1):\n", bp, bp)
 	for _, p := range c.Protocols {
-		if p == "DirectoryCMP" {
+		if p == bp {
 			continue
 		}
 		fmt.Fprintf(w, "%-22s", p)
 		for _, wl := range c.Workloads {
-			base := c.Cells[wl]["DirectoryCMP"].Runtime.Mean()
+			base := c.Cells[wl][bp].Runtime.Mean()
 			cell := c.Cells[wl][p]
 			fmt.Fprintf(w, " %17.1f%%", (base/cell.Runtime.Mean()-1)*100)
 		}
@@ -297,9 +369,10 @@ func (c *Commercial) RenderTraffic(w io.Writer, level stats.Level) {
 	if level == stats.IntraCMP {
 		name = "Figure 7b: Intra-CMP traffic"
 	}
-	fmt.Fprintf(w, "%s (bytes by message type, normalized to DirectoryCMP total)\n", name)
+	bp := baselineProto(c.Protocols)
+	fmt.Fprintf(w, "%s (bytes by message type, normalized to %s total)\n", name, bp)
 	for _, wl := range c.Workloads {
-		base := float64(c.Cells[wl]["DirectoryCMP"].Traffic.TotalBytes(level))
+		base := float64(c.Cells[wl][bp].Traffic.TotalBytes(level))
 		fmt.Fprintf(w, "\n[%s]\n%-22s %9s", wl, "Protocol", "total")
 		for cl := stats.TrafficClass(0); cl < stats.NumTrafficClasses; cl++ {
 			fmt.Fprintf(w, " %19s", cl)
@@ -326,8 +399,8 @@ func (c *Commercial) PersistentFraction(wl, proto string) float64 {
 	return float64(cell.Persist) / float64(cell.Misses)
 }
 
-// SortedProtocols returns protocols in machine.Protocols order filtered
-// to those present.
+// SortedProtocols returns the protocols present in m in alphabetical
+// order.
 func SortedProtocols(m map[string]*Cell) []string {
 	var out []string
 	for p := range m {

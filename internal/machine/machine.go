@@ -69,7 +69,7 @@ type Machine struct {
 	net *network.Network // nil for PerfectL2
 
 	// Consistency-monitor state.
-	expected  map[mem.Block]uint64
+	expected   map[mem.Block]uint64
 	Violations []string
 }
 

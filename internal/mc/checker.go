@@ -20,9 +20,13 @@ package mc
 import (
 	"fmt"
 	"time"
+
+	"tokencmp/internal/runner"
 )
 
-// Model is an encoded-state transition system.
+// Model is an encoded-state transition system. Implementations must be
+// safe for concurrent calls: the checker expands each BFS level's
+// frontier across a worker pool.
 type Model interface {
 	// Name identifies the model in reports.
 	Name() string
@@ -78,32 +82,57 @@ func (r *Result) String() string {
 		r.Model, status, r.States, r.Transitions, r.Diameter, r.Elapsed, detail)
 }
 
-// Check exhaustively explores model up to limit states (0 = 5,000,000).
-func Check(m Model, limit int) *Result {
+// Check exhaustively explores model up to limit states (0 = 5,000,000)
+// with one worker per CPU. Equivalent to CheckJobs(m, limit, 0).
+func Check(m Model, limit int) *Result { return CheckJobs(m, limit, 0) }
+
+// expansion is one frontier state's parallel-computed outputs.
+type expansion struct {
+	succs    []string
+	err      error // safety violation, if any
+	deadlock bool
+}
+
+// CheckJobs is Check with an explicit worker count (jobs <= 0 selects
+// runner.DefaultJobs()).
+//
+// The exploration is level-synchronous BFS: all states at the current
+// depth are expanded concurrently (Successors and the safety Check are
+// the expensive calls), then their successors are merged serially in
+// frontier order. Discovery order, state indices, and every Result
+// field except Elapsed are therefore identical for any jobs value.
+//
+// The state cap is exact: at most limit states are recorded, and edges
+// to states dropped by the cap are not counted as transitions, so the
+// reported (States, Transitions) pair always describes a consistent
+// explored subgraph.
+func CheckJobs(m Model, limit, jobs int) *Result {
 	if limit <= 0 {
 		limit = 5_000_000
 	}
+	pool := runner.New(jobs)
 	start := time.Now()
 	res := &Result{Model: m.Name()}
 
-	type nodeInfo struct {
-		idx   int
-		depth int
-	}
-	seen := make(map[string]nodeInfo)
+	seen := make(map[string]int) // state → index into states
 	var states []string
-	var frontier []string
+	var depths []int
 	var preds [][]int32 // predecessor adjacency for backward reachability
 
+	// push records a newly discovered state unless the cap has been
+	// reached, returning its index (-1 if dropped).
 	push := func(s string, depth int) int {
-		if ni, ok := seen[s]; ok {
-			return ni.idx
+		if idx, ok := seen[s]; ok {
+			return idx
+		}
+		if len(states) >= limit {
+			return -1
 		}
 		idx := len(states)
-		seen[s] = nodeInfo{idx: idx, depth: depth}
+		seen[s] = idx
 		states = append(states, s)
+		depths = append(depths, depth)
 		preds = append(preds, nil)
-		frontier = append(frontier, s)
 		if depth > res.Diameter {
 			res.Diameter = depth
 		}
@@ -113,32 +142,57 @@ func Check(m Model, limit int) *Result {
 		push(s, 0)
 	}
 
-	for len(frontier) > 0 && len(states) <= limit {
-		s := frontier[0]
-		frontier = frontier[1:]
-		ni := seen[s]
-
-		if err := m.Check(s); err != nil && res.Violation == nil {
-			res.Violation = err
-			res.BadState = s
+	// BFS appends discoveries to states in level order, so the slice
+	// doubles as the queue: states[lo:hi] is the current level. The
+	// cursor replaces the old frontier = frontier[1:] pop, which pinned
+	// the whole backing array for the life of the run.
+	for lo := 0; lo < len(states); {
+		hi := len(states)
+		batch := states[lo:hi]
+		exps := make([]expansion, len(batch))
+		pool.Run(len(batch), func(i int) error {
+			s := batch[i]
+			e := &exps[i]
+			e.err = m.Check(s)
+			e.succs = m.Successors(s)
+			e.deadlock = len(e.succs) == 0 && !m.Quiescent(s)
+			return nil
+		})
+		for i := range exps {
+			e := &exps[i]
+			if e.err != nil && res.Violation == nil {
+				res.Violation = e.err
+				res.BadState = batch[i]
+			}
+			if e.deadlock && res.Deadlock == "" {
+				res.Deadlock = batch[i]
+			}
+			for _, t := range e.succs {
+				ti := push(t, depths[lo+i]+1)
+				if ti < 0 {
+					continue // dropped by the exact state cap
+				}
+				res.Transitions++
+				preds[ti] = append(preds[ti], int32(lo+i))
+			}
 		}
-		succs := m.Successors(s)
-		if len(succs) == 0 && !m.Quiescent(s) && res.Deadlock == "" {
-			res.Deadlock = s
-		}
-		for _, t := range succs {
-			res.Transitions++
-			ti := push(t, ni.depth+1)
-			preds[ti] = append(preds[ti], int32(ni.idx))
-		}
+		lo = hi
 	}
 	res.States = len(states)
 
 	// Starvation check: backward reachability from satisfying states.
+	// The per-state predicates decode in parallel; the propagation
+	// itself is a cheap serial pass over the explored graph.
+	satisfying := make([]bool, len(states))
+	pending := make([]bool, len(states))
+	pool.Stripe(len(states), func(i int) {
+		satisfying[i] = m.Satisfying(states[i])
+		pending[i] = m.Pending(states[i])
+	})
 	canReach := make([]bool, len(states))
 	var stack []int32
-	for i, s := range states {
-		if m.Satisfying(s) {
+	for i := range states {
+		if satisfying[i] {
 			canReach[i] = true
 			stack = append(stack, int32(i))
 		}
@@ -154,7 +208,7 @@ func Check(m Model, limit int) *Result {
 		}
 	}
 	for i, s := range states {
-		if m.Pending(s) && !canReach[i] {
+		if pending[i] && !canReach[i] {
 			res.Starvation = s
 			break
 		}

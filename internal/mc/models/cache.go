@@ -1,0 +1,57 @@
+package models
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// stateCache memoizes decoded states by their encoded key. The model
+// checker expands BFS frontiers in parallel, so Successors/Check/etc.
+// run concurrently on one model instance; the cache is sharded to keep
+// lock contention off the hot encode/decode path.
+const cacheShards = 64
+
+type cacheShard[T any] struct {
+	mu sync.RWMutex
+	m  map[string]T
+}
+
+type stateCache[T any] struct {
+	seed   maphash.Seed
+	shards [cacheShards]cacheShard[T]
+}
+
+func newStateCache[T any]() *stateCache[T] {
+	c := &stateCache[T]{seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]T)
+	}
+	return c
+}
+
+func (c *stateCache[T]) shard(key string) *cacheShard[T] {
+	return &c.shards[maphash.String(c.seed, key)%cacheShards]
+}
+
+func (c *stateCache[T]) get(key string) (T, bool) {
+	sh := c.shard(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// putIfAbsent stores v under key unless a value is already cached, and
+// returns whichever value ended up cached. Racing encoders of the same
+// state build equal decoded values, so first-writer-wins is safe.
+func (c *stateCache[T]) putIfAbsent(key string, v T) T {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if old, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		return old
+	}
+	sh.m[key] = v
+	sh.mu.Unlock()
+	return v
+}

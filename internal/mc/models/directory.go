@@ -11,10 +11,12 @@ import (
 // with explicit forward, invalidation, acknowledgment, data, unblock,
 // and three-phase writeback messages. All intra-CMP detail is omitted,
 // exactly as in the paper (a full hierarchical model is intractable).
+// Its methods are safe for concurrent use, as required by the parallel
+// checker in internal/mc.
 type DirModel struct {
 	caches  int
 	maxMsgs int
-	decode  map[string]*dstate
+	decode  *stateCache[*dstate]
 }
 
 // dcache is one cache's view: MSI state plus the data-independence bit.
@@ -65,7 +67,7 @@ type dstate struct {
 
 // NewDirModel builds the flat directory model.
 func NewDirModel(caches, maxMsgs int) *DirModel {
-	return &DirModel{caches: caches, maxMsgs: maxMsgs, decode: make(map[string]*dstate)}
+	return &DirModel{caches: caches, maxMsgs: maxMsgs, decode: newStateCache[*dstate]()}
 }
 
 // DefaultDirModel mirrors the token models' scale.
@@ -80,11 +82,11 @@ func (m *DirModel) encode(s *dstate) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "C%v M%v O%d S%b mc%v B%d o%d W%v", s.C, msgs, s.Owner, s.Sharers, s.MemCur, s.Busy, s.BusyOwn, s.BusyWB)
 	key := b.String()
-	if _, ok := m.decode[key]; !ok {
-		m.decode[key] = &dstate{
+	if _, ok := m.decode.get(key); !ok {
+		m.decode.putIfAbsent(key, &dstate{
 			C: append([]dcache{}, s.C...), Msgs: msgs, Owner: s.Owner,
 			Sharers: s.Sharers, MemCur: s.MemCur, Busy: s.Busy, BusyOwn: s.BusyOwn, BusyWB: s.BusyWB,
-		}
+		})
 	}
 	return key
 }
@@ -126,7 +128,7 @@ func (m *DirModel) send(s *dstate, msg dmsg) bool {
 
 // Successors implements mc.Model.
 func (m *DirModel) Successors(key string) []string {
-	s := m.decode[key]
+	s, _ := m.decode.get(key)
 	var out []string
 	emit := func(n *dstate) { out = append(out, m.encode(n)) }
 
@@ -371,7 +373,7 @@ func (m *DirModel) maybeComplete(n *dstate, p int) {
 
 // Check implements mc.Model.
 func (m *DirModel) Check(key string) error {
-	s := m.decode[key]
+	s, _ := m.decode.get(key)
 	writers := 0
 	for i, c := range s.C {
 		if c.St == 2 {
@@ -392,13 +394,13 @@ func (m *DirModel) Check(key string) error {
 
 // Quiescent implements mc.Model.
 func (m *DirModel) Quiescent(key string) bool {
-	s := m.decode[key]
+	s, _ := m.decode.get(key)
 	return len(s.Msgs) == 0 && !m.Pending(key) && s.Busy == -1
 }
 
 // Pending implements mc.Model.
 func (m *DirModel) Pending(key string) bool {
-	s := m.decode[key]
+	s, _ := m.decode.get(key)
 	for _, c := range s.C {
 		if c.Out != 0 || c.WaitWB {
 			return true

@@ -77,15 +77,17 @@ type tstate struct {
 	ArbQ    []int  // arbiter FIFO (processor indices); ArbQ[0] is active
 }
 
-// TokenModel is the substrate transition system.
+// TokenModel is the substrate transition system. Its methods are safe
+// for concurrent use, as required by the parallel checker in
+// internal/mc.
 type TokenModel struct {
 	cfg    TokenConfig
-	decode map[string]*tstate
+	decode *stateCache[*tstate]
 }
 
 // NewTokenModel builds a model for cfg.
 func NewTokenModel(cfg TokenConfig) *TokenModel {
-	return &TokenModel{cfg: cfg, decode: make(map[string]*tstate)}
+	return &TokenModel{cfg: cfg, decode: newStateCache[*tstate]()}
 }
 
 // Name implements mc.Model.
@@ -112,14 +114,14 @@ func (m *TokenModel) encode(s *tstate) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "H%v M%v R%v Q%v", s.Holders, msgs, s.Reqs, s.ArbQ)
 	key := b.String()
-	if _, ok := m.decode[key]; !ok {
+	if _, ok := m.decode.get(key); !ok {
 		cp := &tstate{
 			Holders: append([]holder{}, s.Holders...),
 			Msgs:    msgs,
 			Reqs:    append([]preq{}, s.Reqs...),
 			ArbQ:    append([]int{}, s.ArbQ...),
 		}
-		m.decode[key] = cp
+		m.decode.putIfAbsent(key, cp)
 	}
 	return key
 }
@@ -168,7 +170,7 @@ func (m *TokenModel) activeReq(s *tstate) (int, bool) {
 
 // Successors implements mc.Model.
 func (m *TokenModel) Successors(key string) []string {
-	s := m.decode[key]
+	s, _ := m.decode.get(key)
 	var out []string
 	emit := func(n *tstate) { out = append(out, m.encode(n)) }
 	T := m.cfg.T
@@ -347,7 +349,7 @@ func (m *TokenModel) Successors(key string) []string {
 // Check implements mc.Model: token conservation, one owner, the
 // coherence invariant, and the serial view of memory.
 func (m *TokenModel) Check(key string) error {
-	s := m.decode[key]
+	s, _ := m.decode.get(key)
 	tokens, owners, writers := 0, 0, 0
 	for i, h := range s.Holders {
 		tokens += h.Tokens
@@ -390,13 +392,13 @@ func (m *TokenModel) Check(key string) error {
 // delivery transitions prevent; treat all states as quiescent-capable
 // only when no messages and no requests are outstanding.
 func (m *TokenModel) Quiescent(key string) bool {
-	s := m.decode[key]
+	s, _ := m.decode.get(key)
 	return len(s.Msgs) == 0 && !m.Pending(key)
 }
 
 // Pending implements mc.Model.
 func (m *TokenModel) Pending(key string) bool {
-	s := m.decode[key]
+	s, _ := m.decode.get(key)
 	for _, r := range s.Reqs {
 		if r.Valid {
 			return true

@@ -60,7 +60,7 @@ type Endpoint interface {
 
 // LinkParams describe one directed link.
 type LinkParams struct {
-	Latency   sim.Time
+	Latency    sim.Time
 	BytesPerNS int // bandwidth; 0 means infinite
 	Level      stats.Level
 }

@@ -37,8 +37,8 @@ type System struct {
 	touched map[l1Key]uint64
 	epoch   map[mem.Block]uint64
 
-	ports []*port
-	Hits  uint64
+	ports      []*port
+	Hits       uint64
 	MissesToL2 uint64
 }
 

@@ -1,0 +1,110 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndex(t *testing.T) {
+	for _, jobs := range []int{1, 2, 8} {
+		n := 100
+		slots := make([]int, n)
+		err := New(jobs).Run(n, func(i int) error {
+			slots[i] = i + 1
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range slots {
+			if v != i+1 {
+				t.Fatalf("jobs=%d: slot %d = %d, want %d", jobs, i, v, i+1)
+			}
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const jobs = 3
+	var cur, max atomic.Int64
+	err := New(jobs).Run(64, func(i int) error {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > jobs {
+		t.Fatalf("observed %d concurrent items, pool width %d", m, jobs)
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	for _, jobs := range []int{1, 4, 16} {
+		err := New(jobs).Run(50, func(i int) error {
+			if i == 7 || i == 31 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 7 failed" {
+			t.Fatalf("jobs=%d: got %v, want the index-7 error", jobs, err)
+		}
+	}
+}
+
+func TestRunEmptyAndDefaults(t *testing.T) {
+	if err := New(0).Run(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0 ran fn: %v", err)
+	}
+	if j := New(0).Jobs(); j < 1 {
+		t.Fatalf("default jobs = %d, want >= 1", j)
+	}
+	if j := New(-3).Jobs(); j != DefaultJobs() {
+		t.Fatalf("jobs(-3) = %d, want DefaultJobs()=%d", j, DefaultJobs())
+	}
+}
+
+func TestStripeCoversEveryIndex(t *testing.T) {
+	for _, jobs := range []int{1, 2, 7} {
+		n := 53
+		slots := make([]int32, n)
+		New(jobs).Stripe(n, func(i int) { atomic.AddInt32(&slots[i], 1) })
+		for i, v := range slots {
+			if v != 1 {
+				t.Fatalf("jobs=%d: index %d visited %d times", jobs, i, v)
+			}
+		}
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	out, err := Map(New(4), 20, func(i int) (string, error) {
+		return fmt.Sprintf("r%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != fmt.Sprintf("r%d", i) {
+			t.Fatalf("out[%d] = %q", i, v)
+		}
+	}
+	if _, err := Map(New(4), 5, func(i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	}); err == nil {
+		t.Fatal("Map swallowed the error")
+	}
+}

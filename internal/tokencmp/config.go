@@ -27,8 +27,8 @@ type Config struct {
 	InitialTimeout sim.Time
 
 	// CacheParams. Sizes are per structure (per L1, per L2 bank).
-	L1Size, L1Ways         int
-	L2BankSize, L2Ways     int
+	L1Size, L1Ways     int
+	L2BankSize, L2Ways int
 
 	// Tokens per block; zero means token.TokenCountFor(#caches).
 	T int

@@ -13,12 +13,12 @@ import (
 
 // L2Stats counts per-bank protocol events.
 type L2Stats struct {
-	LocalRequests     uint64
-	ExternalRequests  uint64
+	LocalRequests      uint64
+	ExternalRequests   uint64
 	ExternalBroadcasts uint64
-	FwdToL1s          uint64
-	FilteredFwds      uint64
-	Writebacks        uint64
+	FwdToL1s           uint64
+	FilteredFwds       uint64
+	Writebacks         uint64
 }
 
 // presence tracks the L2 bank's view of tokens held by its CMP's L1

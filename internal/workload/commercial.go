@@ -34,9 +34,9 @@ type CommercialParams struct {
 	// ScanPerTxn accesses walk a large per-processor region that exceeds
 	// the L2, generating capacity misses and dirty writebacks (commercial
 	// working sets dwarf the 8 MB L2).
-	ScanPerTxn      int
-	ScanBlocks      int
-	ScanWriteFrac   float64
+	ScanPerTxn    int
+	ScanBlocks    int
+	ScanWriteFrac float64
 
 	MigratoryPerTxn int // read-modify-write a shared record (unlocked)
 	MigratoryBlocks int
