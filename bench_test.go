@@ -42,7 +42,7 @@ func BenchmarkFig2LockingPersistent(b *testing.B) {
 	opt := benchOpts()
 	for i := 0; i < b.N; i++ {
 		sweep, err := experiments.RunLockSweep(
-			[]string{"TokenCMP-arb0", "DirectoryCMP", "DirectoryCMP-zero", "TokenCMP-dst0"},
+			[]string{"TokenCMP-arb0", "DirectoryCMP", "DirectoryCMP-zero", "HammerCMP", "TokenCMP-dst0"},
 			[]int{2, 32, 512}, opt)
 		if err != nil {
 			b.Fatal(err)
@@ -52,6 +52,7 @@ func BenchmarkFig2LockingPersistent(b *testing.B) {
 			b.ReportMetric(sweep.Cells["TokenCMP-arb0"][0].Runtime.Mean()/base, "arb0@2locks")
 			b.ReportMetric(sweep.Cells["TokenCMP-dst0"][0].Runtime.Mean()/base, "dst0@2locks")
 			b.ReportMetric(sweep.Cells["TokenCMP-dst0"][2].Runtime.Mean()/base, "dst0@512locks")
+			b.ReportMetric(sweep.Cells["HammerCMP"][2].Runtime.Mean()/base, "hammer@512locks")
 		}
 	}
 }
@@ -101,7 +102,7 @@ func BenchmarkFig6Runtime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunCommercial(
 			[]string{"OLTP", "SPECjbb"},
-			[]string{"DirectoryCMP", "TokenCMP-dst1", "PerfectL2"}, opt)
+			[]string{"DirectoryCMP", "HammerCMP", "TokenCMP-dst1", "PerfectL2"}, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -109,7 +110,9 @@ func BenchmarkFig6Runtime(b *testing.B) {
 			for _, wl := range res.Workloads {
 				base := res.Cells[wl]["DirectoryCMP"].Runtime.Mean()
 				tok := res.Cells[wl]["TokenCMP-dst1"].Runtime.Mean()
+				ham := res.Cells[wl]["HammerCMP"].Runtime.Mean()
 				b.ReportMetric((base/tok-1)*100, wl+"-speedup-%")
+				b.ReportMetric((base/ham-1)*100, wl+"-hammer-speedup-%")
 			}
 		}
 	}
@@ -132,7 +135,7 @@ func benchTraffic(b *testing.B, level stats.Level, tag string) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunCommercial(
 			[]string{"OLTP"},
-			[]string{"DirectoryCMP", "TokenCMP-dst1", "TokenCMP-dst1-filt"}, opt)
+			[]string{"DirectoryCMP", "HammerCMP", "TokenCMP-dst1", "TokenCMP-dst1-filt"}, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,8 +143,10 @@ func benchTraffic(b *testing.B, level stats.Level, tag string) {
 			base := float64(res.Cells["OLTP"]["DirectoryCMP"].Traffic.TotalBytes(level))
 			tok := float64(res.Cells["OLTP"]["TokenCMP-dst1"].Traffic.TotalBytes(level))
 			filt := float64(res.Cells["OLTP"]["TokenCMP-dst1-filt"].Traffic.TotalBytes(level))
+			ham := float64(res.Cells["OLTP"]["HammerCMP"].Traffic.TotalBytes(level))
 			b.ReportMetric(tok/base, tag+"-dst1-vs-dir")
 			b.ReportMetric(filt/base, tag+"-filt-vs-dir")
+			b.ReportMetric(ham/base, tag+"-hammer-vs-dir")
 		}
 	}
 }
@@ -153,12 +158,14 @@ func BenchmarkSec5ModelCheck(b *testing.B) {
 		cfg := models.DefaultTokenConfig(models.SafetyOnly)
 		safety := mc.CheckJobs(models.NewTokenModel(cfg), 0, runner.DefaultJobs())
 		dir := mc.CheckJobs(models.DefaultDirModel(), 0, runner.DefaultJobs())
-		if !safety.OK() || !dir.OK() {
+		hammer := mc.CheckJobs(models.NewHammerModel(2, 5), 0, runner.DefaultJobs())
+		if !safety.OK() || !dir.OK() || !hammer.OK() {
 			b.Fatal("model checking failed")
 		}
 		if i == 0 {
 			b.ReportMetric(float64(safety.States), "safety-states")
 			b.ReportMetric(float64(dir.States), "dir-states")
+			b.ReportMetric(float64(hammer.States), "hammer-states")
 		}
 	}
 }
@@ -167,7 +174,7 @@ func BenchmarkSec5ModelCheck(b *testing.B) {
 // block bouncing among 16 processors (an ablation of protocol overhead
 // rather than a paper figure).
 func BenchmarkProtocolHandoff(b *testing.B) {
-	for _, proto := range []string{"DirectoryCMP", "TokenCMP-dst1"} {
+	for _, proto := range []string{"DirectoryCMP", "HammerCMP", "TokenCMP-dst1"} {
 		proto := proto
 		b.Run(proto, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -9,7 +9,6 @@ import (
 	"os"
 
 	"tokencmp/internal/experiments"
-	"tokencmp/internal/machine"
 )
 
 func main() {
@@ -27,10 +26,9 @@ func main() {
 
 	protos := []string{
 		"TokenCMP-arb0", "TokenCMP-dst0",
-		"DirectoryCMP", "DirectoryCMP-zero",
+		"DirectoryCMP", "DirectoryCMP-zero", "HammerCMP",
 		"TokenCMP-dst4", "TokenCMP-dst1", "TokenCMP-dst1-pred", "TokenCMP-dst1-filt",
 	}
-	_ = machine.Protocols()
 	table, err := experiments.RunBarrierTable(protos, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

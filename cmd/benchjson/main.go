@@ -1,0 +1,161 @@
+// benchjson converts `go test -bench` output into a JSON benchmark
+// artifact (for CI upload and perf-trajectory tracking) and prints a
+// human-readable runtime summary table.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' . | tee bench.txt
+//	benchjson -in bench.txt -out BENCH_ci.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_ci.json artifact shape.
+type Report struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// parse reads `go test -bench` output. Benchmark lines look like
+//
+//	BenchmarkName-8   1   123456 ns/op   1.5 some/metric
+//
+// i.e. name, iteration count, then (value, unit) pairs; context lines
+// (goos, goarch, pkg, cpu) are captured verbatim.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rep.Context[key] = v
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." headers without results
+		}
+		b := Benchmark{
+			Name:       strings.TrimSuffix(strings.TrimPrefix(fields[0], "Benchmark"), cpuSuffix(fields[0])),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// cpuSuffix returns the trailing "-N" GOMAXPROCS suffix of a benchmark
+// name, or "" if absent.
+func cpuSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return ""
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return ""
+	}
+	return name[i:]
+}
+
+// summarize prints the runtime table: one row per benchmark with its
+// wall time and the count of extra reported metrics.
+func summarize(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "%-40s %14s %8s\n", "benchmark", "time/op (ms)", "metrics")
+	total := 0.0
+	for _, b := range rep.Benchmarks {
+		ms := b.Metrics["ns/op"] / 1e6
+		total += ms
+		fmt.Fprintf(w, "%-40s %14.1f %8d\n", b.Name, ms, len(b.Metrics)-1)
+	}
+	fmt.Fprintf(w, "%-40s %14.1f\n", "TOTAL", total)
+
+	fmt.Fprintln(w, "\nheadline metrics:")
+	for _, b := range rep.Benchmarks {
+		keys := make([]string, 0, len(b.Metrics))
+		for k := range b.Metrics {
+			if k != "ns/op" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-38s %-24s %10.3f\n", b.Name, k, b.Metrics[k])
+		}
+	}
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "-", "bench output file (- = stdin)")
+		out = flag.String("out", "BENCH_ci.json", "JSON artifact path")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	summarize(os.Stdout, rep)
+	fmt.Printf("\nwrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: tokencmp
+cpu: AMD EPYC
+BenchmarkFig2LockingPersistent-8   	       1	 123456789 ns/op	         1.234 arb0@2locks	         0.900 dst0@512locks
+BenchmarkProtocolHandoff/DirectoryCMP-8  	       2	   1000000 ns/op
+PASS
+ok  	tokencmp	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Context["goos"]; got != "linux" {
+		t.Errorf("goos = %q", got)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "Fig2LockingPersistent" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if b.Iterations != 1 {
+		t.Errorf("iterations = %d", b.Iterations)
+	}
+	if got := b.Metrics["ns/op"]; got != 123456789 {
+		t.Errorf("ns/op = %v", got)
+	}
+	if got := b.Metrics["arb0@2locks"]; got != 1.234 {
+		t.Errorf("arb0@2locks = %v", got)
+	}
+	sub := rep.Benchmarks[1]
+	if sub.Name != "ProtocolHandoff/DirectoryCMP" {
+		t.Errorf("sub-benchmark name = %q", sub.Name)
+	}
+	if sub.Iterations != 2 {
+		t.Errorf("sub-benchmark iterations = %d", sub.Iterations)
+	}
+}
+
+func TestSummarizeRuns(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	summarize(&sb, rep)
+	out := sb.String()
+	for _, want := range []string{"Fig2LockingPersistent", "TOTAL", "arb0@2locks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -34,7 +34,7 @@ func main() {
 
 	if *mode == "persistent" || *mode == "both" {
 		sweep, err := experiments.RunLockSweep(
-			[]string{"TokenCMP-arb0", "DirectoryCMP", "DirectoryCMP-zero", "TokenCMP-dst0"},
+			[]string{"TokenCMP-arb0", "DirectoryCMP", "DirectoryCMP-zero", "HammerCMP", "TokenCMP-dst0"},
 			lockCounts, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -45,7 +45,7 @@ func main() {
 	}
 	if *mode == "transient" || *mode == "both" {
 		sweep, err := experiments.RunLockSweep(
-			[]string{"DirectoryCMP", "DirectoryCMP-zero", "TokenCMP-dst4", "TokenCMP-dst1", "TokenCMP-dst1-pred"},
+			[]string{"DirectoryCMP", "DirectoryCMP-zero", "HammerCMP", "TokenCMP-dst4", "TokenCMP-dst1", "TokenCMP-dst1-pred"},
 			lockCounts, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

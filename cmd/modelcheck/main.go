@@ -1,7 +1,9 @@
 // modelcheck regenerates the paper's Section 5 verification study: it
-// exhaustively model-checks the three token-substrate variants and the
-// simplified flat DirectoryCMP, reporting reachable states, transitions,
-// and model source size (the analog of the paper's TLA+ line counts).
+// exhaustively model-checks the three token-substrate variants, the
+// simplified flat DirectoryCMP, and the HammerCMP broadcast race
+// window, reporting reachable states, transitions, and model source
+// size (the analog of the paper's TLA+ line counts). -protocol selects
+// a subset (all, token, directory, or hammer).
 package main
 
 import (
@@ -31,13 +33,28 @@ func modelLoC(path string) int {
 
 func main() {
 	var (
-		tokens = flag.Int("tokens", 4, "tokens per block in the token models")
-		limit  = flag.Int("limit", 0, "exact state-count cap (0 = the 5,000,000 default)")
-		jobs   = flag.Int("jobs", 0, "concurrent frontier-expansion workers (0 = one per CPU)")
+		tokens   = flag.Int("tokens", 4, "tokens per block in the token models")
+		limit    = flag.Int("limit", 0, "exact state-count cap (0 = the 5,000,000 default)")
+		jobs     = flag.Int("jobs", 0, "concurrent frontier-expansion workers (0 = one per CPU)")
+		protocol = flag.String("protocol", "all", "which models to check: all, token, directory, or hammer")
 	)
 	flag.Parse()
 
-	fmt.Println("Section 5: model checking the correctness substrate vs a flat directory")
+	switch *protocol {
+	case "all", "token", "directory", "hammer":
+	default:
+		fmt.Fprintf(os.Stderr, "modelcheck: unknown -protocol %q (want all, token, directory, or hammer)\n", *protocol)
+		os.Exit(2)
+	}
+	want := func(p string) bool { return *protocol == "all" || *protocol == p }
+
+	heading := map[string]string{
+		"all":       "the correctness substrate vs a flat directory\nand the HammerCMP broadcast race window",
+		"token":     "the token correctness substrate",
+		"directory": "the flat DirectoryCMP protocol",
+		"hammer":    "the HammerCMP broadcast race window",
+	}
+	fmt.Printf("Section 5: model checking %s\n", heading[*protocol])
 	fmt.Println("(safety: token conservation / coherence invariant / serial view;")
 	fmt.Println(" liveness: deadlock freedom and AG(pending → EF satisfied))")
 	fmt.Println()
@@ -46,16 +63,30 @@ func main() {
 		res := mc.CheckJobs(m, *limit, *jobs)
 		fmt.Println(res)
 	}
-	for _, act := range []models.Activation{models.SafetyOnly, models.ArbiterAct, models.DistributedAct} {
-		cfg := models.DefaultTokenConfig(act)
-		cfg.T = *tokens
-		run(models.NewTokenModel(cfg))
+	if want("token") {
+		for _, act := range []models.Activation{models.SafetyOnly, models.ArbiterAct, models.DistributedAct} {
+			cfg := models.DefaultTokenConfig(act)
+			cfg.T = *tokens
+			run(models.NewTokenModel(cfg))
+		}
 	}
-	run(models.DefaultDirModel())
+	if want("directory") {
+		run(models.DefaultDirModel())
+	}
+	if want("hammer") {
+		run(models.DefaultHammerModel())
+	}
 
 	fmt.Println()
 	fmt.Println("Model source size (non-comment lines; the paper reports 383/396 lines")
 	fmt.Println("of TLA+ for TokenCMP-arb/dst vs 1025 for the simplified DirectoryCMP):")
-	fmt.Printf("  token substrate models: %d\n", modelLoC("internal/mc/models/token.go"))
-	fmt.Printf("  flat directory model:   %d\n", modelLoC("internal/mc/models/directory.go"))
+	if want("token") {
+		fmt.Printf("  token substrate models:   %d\n", modelLoC("internal/mc/models/token.go"))
+	}
+	if want("directory") {
+		fmt.Printf("  flat directory model:     %d\n", modelLoC("internal/mc/models/directory.go"))
+	}
+	if want("hammer") {
+		fmt.Printf("  flat hammer (broadcast):  %d\n", modelLoC("internal/mc/models/hammer.go"))
+	}
 }

@@ -34,7 +34,7 @@ func main() {
 	opt.Jobs = *jobs
 
 	protos := []string{
-		"DirectoryCMP", "DirectoryCMP-zero",
+		"DirectoryCMP", "DirectoryCMP-zero", "HammerCMP",
 		"TokenCMP-dst4", "TokenCMP-dst1", "TokenCMP-dst1-pred", "TokenCMP-dst1-filt",
 		"PerfectL2",
 	}

@@ -42,6 +42,10 @@ type Options struct {
 	// Check enables the runtime coherence monitors (slower).
 	Check bool
 
+	// Baseline names the protocol every figure and table normalizes
+	// to. Empty selects automatically (see resolveBaseline).
+	Baseline string
+
 	// Commercial runs use scaled-down caches so the surrogates' working
 	// sets exert the same capacity pressure the full-size workloads put
 	// on the Table 3 hierarchy (simulation scaling, as in the paper's
@@ -147,9 +151,10 @@ func runCells(tasks []cellTask, jobs int) ([]*Cell, error) {
 
 // LockSweep is the Figure 2 / Figure 3 experiment.
 type LockSweep struct {
-	LockCounts []int
-	Protocols  []string
-	Cells      map[string][]*Cell // protocol → per lock count
+	LockCounts    []int
+	Protocols     []string
+	BaselineProto string             // resolved normalization protocol
+	Cells         map[string][]*Cell // protocol → per lock count
 }
 
 // RunLockSweep measures the locking micro-benchmark across lock counts.
@@ -174,36 +179,53 @@ func RunLockSweep(protocols []string, lockCounts []int, opt Options) (*LockSweep
 	if err != nil {
 		return nil, err
 	}
-	out := &LockSweep{LockCounts: lockCounts, Protocols: protocols, Cells: map[string][]*Cell{}}
+	out := &LockSweep{LockCounts: lockCounts, Protocols: protocols,
+		BaselineProto: resolveBaseline(opt.Baseline, protocols), Cells: map[string][]*Cell{}}
 	for pi, proto := range protocols {
 		out.Cells[proto] = cells[pi*len(lockCounts) : (pi+1)*len(lockCounts)]
 	}
 	return out, nil
 }
 
-// baselineProto returns the protocol every figure and table normalizes
-// to: DirectoryCMP when measured, otherwise the first protocol listed.
-func baselineProto(protocols []string) string {
+// resolveBaseline picks the protocol every figure and table normalizes
+// to. The explicit choice wins when it was actually measured; otherwise
+// the first measured entry of a fixed priority order — DirectoryCMP,
+// DirectoryCMP-zero, HammerCMP, any non-idealized protocol — and only
+// as a last resort the first protocol listed (PerfectL2 included). The
+// result is recorded on the experiment at run time, so rendering is
+// deterministic for arbitrary protocol subsets (e.g. HammerCMP +
+// PerfectL2 normalizes to HammerCMP regardless of list order).
+func resolveBaseline(explicit string, protocols []string) string {
+	for _, want := range []string{explicit, "DirectoryCMP", "DirectoryCMP-zero", "HammerCMP"} {
+		if want == "" {
+			continue
+		}
+		for _, p := range protocols {
+			if p == want {
+				return p
+			}
+		}
+	}
 	for _, p := range protocols {
-		if p == "DirectoryCMP" {
+		if p != "PerfectL2" {
 			return p
 		}
 	}
 	return protocols[0]
 }
 
-// Baseline returns the normalization denominator: DirectoryCMP (or the
-// first protocol measured, when DirectoryCMP is absent) at the largest
-// (least contended) lock count, as in Figures 2 and 3.
+// Baseline returns the normalization denominator: the baseline
+// protocol at the largest (least contended) lock count, as in
+// Figures 2 and 3.
 func (s *LockSweep) Baseline() float64 {
-	cells := s.Cells[baselineProto(s.Protocols)]
+	cells := s.Cells[s.BaselineProto]
 	return cells[len(cells)-1].Runtime.Mean()
 }
 
 // Render prints the normalized runtime series (one row per lock count).
 func (s *LockSweep) Render(w io.Writer, title string) {
 	base := s.Baseline()
-	fmt.Fprintf(w, "%s (runtime normalized to %s @ %d locks)\n", title, baselineProto(s.Protocols), s.LockCounts[len(s.LockCounts)-1])
+	fmt.Fprintf(w, "%s (runtime normalized to %s @ %d locks)\n", title, s.BaselineProto, s.LockCounts[len(s.LockCounts)-1])
 	fmt.Fprintf(w, "%8s", "locks")
 	for _, p := range s.Protocols {
 		fmt.Fprintf(w, " %22s", p)
@@ -221,9 +243,10 @@ func (s *LockSweep) Render(w io.Writer, title string) {
 
 // BarrierTable is the Table 4 experiment.
 type BarrierTable struct {
-	Protocols []string
-	Fixed     map[string]*Cell // 3000 ns fixed work
-	Jittered  map[string]*Cell // 3000 ns ± U(1000)
+	Protocols     []string
+	BaselineProto string           // resolved normalization protocol
+	Fixed         map[string]*Cell // 3000 ns fixed work
+	Jittered      map[string]*Cell // 3000 ns ± U(1000)
 }
 
 // RunBarrierTable measures the barrier micro-benchmark. Every
@@ -249,7 +272,8 @@ func RunBarrierTable(protocols []string, opt Options) (*BarrierTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &BarrierTable{Protocols: protocols, Fixed: map[string]*Cell{}, Jittered: map[string]*Cell{}}
+	out := &BarrierTable{Protocols: protocols, BaselineProto: resolveBaseline(opt.Baseline, protocols),
+		Fixed: map[string]*Cell{}, Jittered: map[string]*Cell{}}
 	for pi, proto := range protocols {
 		out.Fixed[proto] = cells[pi*len(jitters)]
 		out.Jittered[proto] = cells[pi*len(jitters)+1]
@@ -257,10 +281,9 @@ func RunBarrierTable(protocols []string, opt Options) (*BarrierTable, error) {
 	return out, nil
 }
 
-// Render prints Table 4 (normalized to DirectoryCMP, or to the first
-// protocol measured when DirectoryCMP is absent).
+// Render prints Table 4, normalized to the resolved baseline protocol.
 func (t *BarrierTable) Render(w io.Writer) {
-	bp := baselineProto(t.Protocols)
+	bp := t.BaselineProto
 	baseF := t.Fixed[bp].Runtime.Mean()
 	baseJ := t.Jittered[bp].Runtime.Mean()
 	fmt.Fprintf(w, "Table 4: Barrier micro-benchmark runtime (normalized to %s)\n", bp)
@@ -273,9 +296,10 @@ func (t *BarrierTable) Render(w io.Writer) {
 
 // Commercial is the Figure 6 + Figure 7 experiment.
 type Commercial struct {
-	Workloads []string
-	Protocols []string
-	Cells     map[string]map[string]*Cell // workload → protocol → cell
+	Workloads     []string
+	Protocols     []string
+	BaselineProto string                      // resolved normalization protocol
+	Cells         map[string]map[string]*Cell // workload → protocol → cell
 }
 
 // CommercialParamsFor returns the surrogate parameters by name.
@@ -318,7 +342,8 @@ func RunCommercial(workloads, protocols []string, opt Options) (*Commercial, err
 	if err != nil {
 		return nil, err
 	}
-	out := &Commercial{Workloads: workloads, Protocols: protocols, Cells: map[string]map[string]*Cell{}}
+	out := &Commercial{Workloads: workloads, Protocols: protocols,
+		BaselineProto: resolveBaseline(opt.Baseline, protocols), Cells: map[string]map[string]*Cell{}}
 	for wi, wl := range workloads {
 		out.Cells[wl] = map[string]*Cell{}
 		for pi, proto := range protocols {
@@ -328,10 +353,10 @@ func RunCommercial(workloads, protocols []string, opt Options) (*Commercial, err
 	return out, nil
 }
 
-// RenderRuntime prints Figure 6 (runtime normalized to DirectoryCMP,
-// with the speedup the paper quotes: runtime(Dir)/runtime(Token) - 1).
+// RenderRuntime prints Figure 6 (runtime normalized to the baseline,
+// with the speedup the paper quotes: runtime(Dir)/runtime(X) - 1).
 func (c *Commercial) RenderRuntime(w io.Writer) {
-	bp := baselineProto(c.Protocols)
+	bp := c.BaselineProto
 	fmt.Fprintf(w, "Figure 6: Commercial workload runtime (normalized to %s)\n", bp)
 	fmt.Fprintf(w, "%-22s", "Protocol")
 	for _, wl := range c.Workloads {
@@ -369,7 +394,7 @@ func (c *Commercial) RenderTraffic(w io.Writer, level stats.Level) {
 	if level == stats.IntraCMP {
 		name = "Figure 7b: Intra-CMP traffic"
 	}
-	bp := baselineProto(c.Protocols)
+	bp := c.BaselineProto
 	fmt.Fprintf(w, "%s (bytes by message type, normalized to %s total)\n", name, bp)
 	for _, wl := range c.Workloads {
 		base := float64(c.Cells[wl][bp].Traffic.TotalBytes(level))

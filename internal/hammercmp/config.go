@@ -1,0 +1,46 @@
+package hammercmp
+
+import (
+	"tokencmp/internal/sim"
+	"tokencmp/internal/topo"
+)
+
+// Config holds HammerCMP's structural and timing parameters. There is
+// deliberately no directory-lookup latency: the home broadcasts probes
+// as soon as its controller decision completes, which is the protocol's
+// whole latency advantage over DirectoryCMP.
+type Config struct {
+	Geom topo.Geometry
+
+	L1Latency   sim.Time
+	L2Latency   sim.Time
+	MemLatency  sim.Time // memory controller decision latency
+	DRAMLatency sim.Time // DRAM array access for the speculative read
+
+	// ResponseDelay is the bounded permission hold after a store (the
+	// paper applies the delay mechanism to all protocols).
+	ResponseDelay sim.Time
+
+	L1Size, L1Ways     int
+	L2BankSize, L2Ways int
+}
+
+// DefaultConfig returns the Table 3 parameters (shared with the other
+// protocols) minus any directory state or lookup latency.
+func DefaultConfig(g topo.Geometry) Config {
+	return Config{
+		Geom:          g,
+		L1Latency:     sim.NS(2),
+		L2Latency:     sim.NS(7),
+		MemLatency:    sim.NS(6),
+		DRAMLatency:   sim.NS(80),
+		ResponseDelay: sim.NS(30),
+		L1Size:        128 << 10,
+		L1Ways:        4,
+		L2BankSize:    (8 << 20) / 4,
+		L2Ways:        4,
+	}
+}
+
+// Name reports the protocol name for reports.
+func (c Config) Name() string { return "HammerCMP" }

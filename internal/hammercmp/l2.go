@@ -1,0 +1,224 @@
+package hammercmp
+
+import (
+	"fmt"
+
+	"tokencmp/internal/cache"
+	"tokencmp/internal/mem"
+	"tokencmp/internal/network"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/topo"
+)
+
+// l2Line is an L2 bank line. HammerCMP's L2 is a victim cache: lines
+// arrive only through L1 owner writebacks, so they are always hM or
+// hO.
+type l2Line struct {
+	st    lineState
+	data  uint64
+	dirty bool
+}
+
+// L2Stats counts per-bank events.
+type L2Stats struct {
+	PutsIn       uint64
+	ProbesServed uint64
+	Writebacks   uint64
+	Deferred     uint64
+}
+
+// L2Ctrl is a HammerCMP L2 bank: an on-chip victim cache that answers
+// broadcast probes like any other cache and spills its own victims to
+// the home memory controller.
+//
+// The bank is the ordering point for its L1s' writebacks: from the
+// moment a Put arrives until its WbData or WbCancel lands, probes for
+// that block are deferred. Without the deferral a probe could find the
+// data nowhere — already granted away from the L1's buffer but not yet
+// installed here — and the requester would complete with stale memory
+// data.
+type L2Ctrl struct {
+	id        topo.NodeID
+	sys       *System
+	cmp, bank int
+
+	cache    *cache.Array[l2Line]
+	wb       map[mem.Block][]*wbEntry         // our writebacks to home
+	busy     map[mem.Block]bool               // an L1 Put is in its data window
+	deferred map[mem.Block][]*network.Message // messages deferred behind busy
+
+	Stats L2Stats
+}
+
+func newL2(sys *System, id topo.NodeID, cmp, bank int) *L2Ctrl {
+	cfg := sys.Cfg
+	return &L2Ctrl{
+		id:       id,
+		sys:      sys,
+		cmp:      cmp,
+		bank:     bank,
+		cache:    cache.New[l2Line](cache.Params{SizeBytes: cfg.L2BankSize, Ways: cfg.L2Ways, BlockSize: mem.BlockSize}),
+		wb:       make(map[mem.Block][]*wbEntry),
+		busy:     make(map[mem.Block]bool),
+		deferred: make(map[mem.Block][]*network.Message),
+	}
+}
+
+func (c *L2Ctrl) home(b mem.Block) topo.NodeID { return c.sys.Geom.HomeMem(b) }
+
+// Recv implements network.Endpoint.
+func (c *L2Ctrl) Recv(m *network.Message) {
+	c.sys.Eng.Schedule(c.sys.Cfg.L2Latency, func() { c.handle(m) })
+}
+
+func (c *L2Ctrl) handle(m *network.Message) {
+	switch m.Kind {
+	case kProbeS, kProbeM:
+		if c.busy[m.Block] {
+			c.Stats.Deferred++
+			c.deferred[m.Block] = append(c.deferred[m.Block], m)
+			return
+		}
+		c.handleProbe(m)
+	case kPut:
+		if c.busy[m.Block] {
+			c.Stats.Deferred++
+			c.deferred[m.Block] = append(c.deferred[m.Block], m)
+			return
+		}
+		c.handlePut(m)
+	case kWbData, kWbCancel:
+		c.handleWbData(m)
+	case kWbGrant:
+		c.handleWbGrant(m)
+	default:
+		panic(fmt.Sprintf("hammercmp: L2 %v cannot handle %s", c.id, kindName(m.Kind)))
+	}
+}
+
+// handleProbe answers a broadcast probe from the bank's line or its
+// pending writeback to home.
+func (c *L2Ctrl) handleProbe(m *network.Message) {
+	b := m.Block
+	if l := c.cache.Lookup(b); l != nil {
+		s := &l.State
+		c.Stats.ProbesServed++
+		c.respondData(m, s.data, s.dirty)
+		if m.Kind == kProbeM {
+			c.cache.Invalidate(b)
+		} else if s.st == hM {
+			s.st = hO // a reader exists now; no silent upgrades here anyway
+		}
+		return
+	}
+	if w := validWb(c.wb[b]); w != nil {
+		c.Stats.ProbesServed++
+		c.respondData(m, w.data, w.dirty)
+		if m.Kind == kProbeM {
+			w.valid = false
+		} else {
+			w.excl = false // a shared copy now exists
+		}
+		return
+	}
+	c.respondAck(m)
+}
+
+func (c *L2Ctrl) respondData(m *network.Message, data uint64, dirty bool) {
+	c.sys.Net.Send(&network.Message{
+		Src:     c.id,
+		Dst:     m.Requestor,
+		Block:   m.Block,
+		Kind:    kData,
+		Class:   stats.ResponseData,
+		HasData: true,
+		Data:    data,
+		Dirty:   dirty,
+		Aux:     auxShared,
+	})
+}
+
+func (c *L2Ctrl) respondAck(m *network.Message) {
+	c.sys.Net.Send(&network.Message{
+		Src:   c.id,
+		Dst:   m.Requestor,
+		Block: m.Block,
+		Kind:  kAck,
+		Class: stats.InvFwdAckTokens,
+	})
+}
+
+// handlePut opens an L1's writeback window: grant immediately and
+// defer probes until the data (or a cancel) arrives.
+func (c *L2Ctrl) handlePut(m *network.Message) {
+	c.Stats.PutsIn++
+	c.busy[m.Block] = true
+	c.sys.Net.Send(&network.Message{
+		Src:   c.id,
+		Dst:   m.Src,
+		Block: m.Block,
+		Kind:  kWbGrant,
+		Class: stats.WritebackControl,
+	})
+}
+
+// handleWbData closes an L1's writeback window, installing the line
+// (possibly spilling a victim to home) on data, and replays deferred
+// messages.
+func (c *L2Ctrl) handleWbData(m *network.Message) {
+	b := m.Block
+	if !c.busy[b] {
+		panic(fmt.Sprintf("hammercmp: L2 %v %s without Put window for %v", c.id, kindName(m.Kind), b))
+	}
+	if m.Kind == kWbData {
+		line, victim, vstate, wasEvicted := c.cache.Install(b)
+		if wasEvicted {
+			c.spill(victim, vstate)
+		}
+		st := hO
+		if m.Aux&auxExcl != 0 {
+			st = hM
+		}
+		line.State = l2Line{st: st, data: m.Data, dirty: m.Dirty}
+	}
+	delete(c.busy, b)
+	c.drain(b)
+}
+
+// spill writes an evicted victim back to its home memory controller
+// (three-phase, probeable from the buffer while in flight).
+func (c *L2Ctrl) spill(v mem.Block, st l2Line) {
+	c.Stats.Writebacks++
+	c.wb[v] = append(c.wb[v], &wbEntry{data: st.data, dirty: st.dirty, excl: st.st == hM, valid: true})
+	c.sys.Net.Send(&network.Message{
+		Src:   c.id,
+		Dst:   c.home(v),
+		Block: v,
+		Kind:  kPut,
+		Class: stats.WritebackControl,
+	})
+}
+
+// drain replays messages deferred behind a writeback window.
+func (c *L2Ctrl) drain(b mem.Block) {
+	for !c.busy[b] {
+		q := c.deferred[b]
+		if len(q) == 0 {
+			delete(c.deferred, b)
+			return
+		}
+		m := q[0]
+		if len(q) == 1 {
+			delete(c.deferred, b)
+		} else {
+			c.deferred[b] = q[1:]
+		}
+		c.handle(m)
+	}
+}
+
+// handleWbGrant answers the home's grant for our own spill with the
+// front entry of the block's writeback FIFO.
+func (c *L2Ctrl) handleWbGrant(m *network.Message) {
+	popWbAndReply(c.sys, c.id, c.wb, m)
+}

@@ -1,0 +1,185 @@
+package hammercmp
+
+import (
+	"fmt"
+
+	"tokencmp/internal/mem"
+	"tokencmp/internal/network"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/topo"
+)
+
+// memTxn is the home's per-block serialization token: a broadcast in
+// flight (closed by the requester's Done) or a writeback in its data
+// window.
+type memTxn struct {
+	kind int // kGetS, kGetM, or kPut
+}
+
+// MemStats counts per-home events.
+type MemStats struct {
+	GetS, GetM uint64
+	ProbesSent uint64
+	MemReads   uint64
+	MemWrites  uint64
+	Puts       uint64
+	Queued     uint64
+}
+
+// MemCtrl is a HammerCMP home memory controller. It holds no directory
+// state at all — only the backing memory image — and serializes
+// transactions per block: a request broadcasts probes to every cache
+// except the requester and speculatively reads DRAM; the block stays
+// busy until the requester's source-done. Writebacks use the same
+// per-block busy state, so probes can never race a writeback's data
+// transfer into memory.
+type MemCtrl struct {
+	id  topo.NodeID
+	sys *System
+	cmp int
+
+	mem   map[mem.Block]uint64
+	busy  map[mem.Block]*memTxn
+	queue map[mem.Block][]*network.Message
+
+	Stats MemStats
+}
+
+func newMem(sys *System, id topo.NodeID, cmp int) *MemCtrl {
+	return &MemCtrl{
+		id:    id,
+		sys:   sys,
+		cmp:   cmp,
+		mem:   make(map[mem.Block]uint64),
+		busy:  make(map[mem.Block]*memTxn),
+		queue: make(map[mem.Block][]*network.Message),
+	}
+}
+
+// MemValue exposes the memory image for audits.
+func (c *MemCtrl) MemValue(b mem.Block) (uint64, bool) {
+	v, ok := c.mem[b]
+	return v, ok
+}
+
+// Recv implements network.Endpoint.
+func (c *MemCtrl) Recv(m *network.Message) {
+	c.sys.Eng.Schedule(c.sys.Cfg.MemLatency, func() { c.handle(m) })
+}
+
+func (c *MemCtrl) handle(m *network.Message) {
+	switch m.Kind {
+	case kGetS, kGetM, kPut:
+		c.admit(m)
+	case kDone:
+		c.close(m, kGetS, kGetM)
+	case kWbData:
+		c.Stats.MemWrites++
+		c.mem[m.Block] = m.Data
+		c.close(m, kPut)
+	case kWbCancel:
+		c.close(m, kPut)
+	default:
+		panic(fmt.Sprintf("hammercmp: home %v cannot handle %s", c.id, kindName(m.Kind)))
+	}
+}
+
+func (c *MemCtrl) admit(m *network.Message) {
+	b := m.Block
+	if c.busy[b] != nil {
+		c.Stats.Queued++
+		c.queue[b] = append(c.queue[b], m)
+		return
+	}
+	c.busy[b] = &memTxn{kind: m.Kind}
+	if m.Kind == kPut {
+		c.Stats.Puts++
+		c.sys.Net.Send(&network.Message{
+			Src:   c.id,
+			Dst:   m.Src,
+			Block: b,
+			Kind:  kWbGrant,
+			Class: stats.WritebackControl,
+		})
+		return
+	}
+	c.startBroadcast(m)
+}
+
+// startBroadcast probes every cache except the requester and
+// speculatively reads DRAM for the requester.
+func (c *MemCtrl) startBroadcast(m *network.Message) {
+	b := m.Block
+	probe := kProbeS
+	if m.Kind == kGetM {
+		c.Stats.GetM++
+		probe = kProbeM
+	} else {
+		c.Stats.GetS++
+	}
+	for _, id := range c.sys.caches {
+		if id == m.Requestor {
+			continue
+		}
+		c.Stats.ProbesSent++
+		c.sys.Net.Send(&network.Message{
+			Src:       c.id,
+			Dst:       id,
+			Block:     b,
+			Kind:      probe,
+			Class:     stats.Request,
+			Requestor: m.Requestor,
+		})
+	}
+	// The speculative DRAM read: the value cannot change while the
+	// block is busy (writebacks serialize behind this transaction), so
+	// reading it after the array latency is exact.
+	c.Stats.MemReads++
+	requestor := m.Requestor
+	c.sys.Eng.Schedule(c.sys.Cfg.DRAMLatency, func() {
+		c.sys.Net.Send(&network.Message{
+			Src:     c.id,
+			Dst:     requestor,
+			Block:   b,
+			Kind:    kMemData,
+			Class:   stats.ResponseData,
+			HasData: true,
+			Data:    c.mem[b],
+		})
+	})
+}
+
+// close ends the block's current transaction (whose kind must be one
+// of wants) and admits the next queued message.
+func (c *MemCtrl) close(m *network.Message, wants ...int) {
+	b := m.Block
+	txn := c.busy[b]
+	ok := false
+	for _, w := range wants {
+		if txn != nil && txn.kind == w {
+			ok = true
+		}
+	}
+	if !ok {
+		panic(fmt.Sprintf("hammercmp: home %v stray %s for %v", c.id, kindName(m.Kind), b))
+	}
+	delete(c.busy, b)
+	c.drain(b)
+}
+
+func (c *MemCtrl) drain(b mem.Block) {
+	q := c.queue[b]
+	if len(q) == 0 {
+		delete(c.queue, b)
+		return
+	}
+	m := q[0]
+	if len(q) == 1 {
+		delete(c.queue, b)
+	} else {
+		c.queue[b] = q[1:]
+	}
+	// The controller decision latency was already paid at arrival;
+	// re-admit immediately.
+	c.sys.Eng.Schedule(0, func() { c.admit(m) })
+}

@@ -1,0 +1,142 @@
+package hammercmp
+
+import (
+	"testing"
+
+	"tokencmp/internal/cpu"
+	"tokencmp/internal/network"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/topo"
+	"tokencmp/internal/workload"
+)
+
+// build wires a small HammerCMP system with tiny caches so evictions
+// and writeback races actually occur.
+func build(t *testing.T, g topo.Geometry) *System {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(g)
+	cfg.L1Size = 4 << 10
+	cfg.L2BankSize = 16 << 10
+	return NewSystem(eng, cfg, network.Default())
+}
+
+// runProgs drives one program per processor to completion.
+func runProgs(t *testing.T, s *System, progs []cpu.Program) {
+	t.Helper()
+	procs := make([]*cpu.Processor, len(progs))
+	for i := range progs {
+		d, in := s.Ports(i)
+		procs[i] = &cpu.Processor{ID: i, Eng: s.Eng, Data: d, Inst: in, Prog: progs[i]}
+		procs[i].Start()
+	}
+	ok := s.Eng.RunUntil(func() bool {
+		for _, p := range procs {
+			if !p.Finished() {
+				return false
+			}
+		}
+		return true
+	}, 50_000_000)
+	if !ok {
+		t.Fatalf("system did not finish: events=%d pending=%d now=%v",
+			s.Eng.Executed, s.Eng.Pending(), s.Eng.Now())
+	}
+}
+
+func TestLockingMutualExclusion(t *testing.T) {
+	g := topo.NewGeometry(2, 2, 1)
+	s := build(t, g)
+	lc := workload.DefaultLocking(4)
+	lc.Acquires = 16
+	progs, mon := workload.LockingPrograms(lc, g.TotalProcs(), 1)
+	runProgs(t, s, progs)
+	if len(mon.Violations) > 0 {
+		t.Fatalf("mutual exclusion violated: %v", mon.Violations[0])
+	}
+	if got, want := mon.Acquires, uint64(4*16); got != want {
+		t.Errorf("acquires = %d, want %d", got, want)
+	}
+}
+
+// TestQuiescence asserts every message has drained (writeback chains
+// included) once programs finish and the engine runs dry.
+func TestQuiescence(t *testing.T) {
+	g := topo.NewGeometry(2, 2, 1)
+	s := build(t, g)
+	lc := workload.DefaultLocking(2)
+	lc.Acquires = 8
+	progs, _ := workload.LockingPrograms(lc, g.TotalProcs(), 3)
+	runProgs(t, s, progs)
+	s.Eng.Run(10_000_000) // drain in-flight writebacks
+	if s.Net.InFlight != 0 {
+		t.Errorf("network not quiescent: %d messages in flight", s.Net.InFlight)
+	}
+	for _, m := range s.Mems {
+		for b, q := range m.queue {
+			if len(q) > 0 {
+				t.Errorf("home %v left %d queued messages for %v", m.id, len(q), b)
+			}
+		}
+		if len(m.busy) != 0 {
+			t.Errorf("home %v left busy blocks: %v", m.id, m.busy)
+		}
+	}
+}
+
+// TestBroadcastFanIn asserts every miss pays the Hammer fan-in: one
+// response per cache plus the memory response, visible as probe
+// traffic proportional to misses.
+func TestBroadcastFanIn(t *testing.T) {
+	g := topo.NewGeometry(2, 2, 1)
+	s := build(t, g)
+	lc := workload.DefaultLocking(8)
+	lc.Acquires = 8
+	progs, _ := workload.LockingPrograms(lc, g.TotalProcs(), 1)
+	runProgs(t, s, progs)
+
+	var probes uint64
+	for _, m := range s.Mems {
+		probes += m.Stats.ProbesSent
+	}
+	var gets uint64
+	for _, m := range s.Mems {
+		gets += m.Stats.GetS + m.Stats.GetM
+	}
+	wantPerMiss := uint64(len(s.caches) - 1)
+	if probes != gets*wantPerMiss {
+		t.Errorf("probes = %d, want %d (%d requests × %d peers)",
+			probes, gets*wantPerMiss, gets, wantPerMiss)
+	}
+}
+
+// TestDeterminism asserts two identical runs take identical simulated
+// time.
+func TestDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		g := topo.NewGeometry(2, 2, 2)
+		s := build(t, g)
+		lc := workload.DefaultLocking(4)
+		lc.Acquires = 10
+		progs, _ := workload.LockingPrograms(lc, g.TotalProcs(), 7)
+		runProgs(t, s, progs)
+		return s.Eng.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic runtimes: %v vs %v", a, b)
+	}
+}
+
+// TestSingleCMP exercises the degenerate one-chip geometry (all probes
+// stay on one CMP except the memory hop).
+func TestSingleCMP(t *testing.T) {
+	g := topo.NewGeometry(1, 4, 2)
+	s := build(t, g)
+	lc := workload.DefaultLocking(2)
+	lc.Acquires = 8
+	progs, mon := workload.LockingPrograms(lc, g.TotalProcs(), 1)
+	runProgs(t, s, progs)
+	if len(mon.Violations) > 0 {
+		t.Fatalf("mutual exclusion violated: %v", mon.Violations[0])
+	}
+}

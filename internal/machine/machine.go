@@ -1,6 +1,7 @@
 // Package machine assembles complete simulated M-CMP systems — any of
 // the TokenCMP variants, DirectoryCMP (with DRAM or zero-cycle
-// directory), or PerfectL2 — drives them with workload programs, and
+// directory), HammerCMP (broadcast snooping), or PerfectL2 — drives
+// them with workload programs, and
 // monitors correctness while they run: a sequential-consistency checker
 // on every completed memory operation plus, for token protocols, the
 // substrate's token-conservation audit.
@@ -11,6 +12,7 @@ import (
 
 	"tokencmp/internal/cpu"
 	"tokencmp/internal/directory"
+	"tokencmp/internal/hammercmp"
 	"tokencmp/internal/mem"
 	"tokencmp/internal/network"
 	"tokencmp/internal/perfectl2"
@@ -35,7 +37,7 @@ type tokenAuditor interface {
 
 // Config selects and parameterizes a machine.
 type Config struct {
-	Protocol string // a tokencmp variant name, "DirectoryCMP", "DirectoryCMP-zero", or "PerfectL2"
+	Protocol string // a tokencmp variant name, "DirectoryCMP", "DirectoryCMP-zero", "HammerCMP", or "PerfectL2"
 	Geom     topo.Geometry
 	Seed     int64
 
@@ -52,7 +54,7 @@ type Config struct {
 // Protocols lists every protocol name this package can build, in the
 // paper's reporting order.
 func Protocols() []string {
-	names := []string{"DirectoryCMP", "DirectoryCMP-zero"}
+	names := []string{"DirectoryCMP", "DirectoryCMP-zero", "HammerCMP"}
 	for _, v := range tokencmp.Variants() {
 		names = append(names, v.Name)
 	}
@@ -91,6 +93,17 @@ func New(cfg Config) (*Machine, error) {
 			dcfg.L2BankSize = cfg.L2BankSize
 		}
 		sys := directory.NewSystem(eng, dcfg, network.Default())
+		m.Proto = sys
+		m.net = sys.Net
+	case "HammerCMP":
+		hcfg := hammercmp.DefaultConfig(cfg.Geom)
+		if cfg.L1Size > 0 {
+			hcfg.L1Size = cfg.L1Size
+		}
+		if cfg.L2BankSize > 0 {
+			hcfg.L2BankSize = cfg.L2BankSize
+		}
+		sys := hammercmp.NewSystem(eng, hcfg, network.Default())
 		m.Proto = sys
 		m.net = sys.Net
 	case "PerfectL2":
