@@ -39,6 +39,7 @@ func benchOpts() experiments.Options {
 // BenchmarkFig2LockingPersistent regenerates Figure 2: the locking sweep
 // with persistent-requests-only policies.
 func BenchmarkFig2LockingPersistent(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpts()
 	for i := 0; i < b.N; i++ {
 		sweep, err := experiments.RunLockSweep(
@@ -60,6 +61,7 @@ func BenchmarkFig2LockingPersistent(b *testing.B) {
 // BenchmarkFig3LockingTransient regenerates Figure 3: the sweep with
 // transient + persistent policies.
 func BenchmarkFig3LockingTransient(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpts()
 	for i := 0; i < b.N; i++ {
 		sweep, err := experiments.RunLockSweep(
@@ -80,6 +82,7 @@ func BenchmarkFig3LockingTransient(b *testing.B) {
 // BenchmarkTable4Barrier regenerates Table 4: the barrier micro-benchmark
 // under fixed and jittered work.
 func BenchmarkTable4Barrier(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpts()
 	protos := []string{"TokenCMP-arb0", "TokenCMP-dst0", "DirectoryCMP", "TokenCMP-dst1"}
 	for i := 0; i < b.N; i++ {
@@ -98,6 +101,7 @@ func BenchmarkTable4Barrier(b *testing.B) {
 // BenchmarkFig6Runtime regenerates Figure 6: commercial-workload runtime
 // normalized to DirectoryCMP (the paper's 10–50% speedups).
 func BenchmarkFig6Runtime(b *testing.B) {
+	b.ReportAllocs()
 	opt := benchOpts()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunCommercial(
@@ -131,6 +135,7 @@ func BenchmarkFig7bIntraTraffic(b *testing.B) {
 }
 
 func benchTraffic(b *testing.B, level stats.Level, tag string) {
+	b.ReportAllocs()
 	opt := benchOpts()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.RunCommercial(
@@ -154,6 +159,7 @@ func benchTraffic(b *testing.B, level stats.Level, tag string) {
 // BenchmarkSec5ModelCheck regenerates the Section 5 verification effort
 // comparison (reachable-state counts).
 func BenchmarkSec5ModelCheck(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := models.DefaultTokenConfig(models.SafetyOnly)
 		safety := mc.CheckJobs(models.NewTokenModel(cfg), 0, runner.DefaultJobs())
@@ -177,6 +183,7 @@ func BenchmarkProtocolHandoff(b *testing.B) {
 	for _, proto := range []string{"DirectoryCMP", "HammerCMP", "TokenCMP-dst1"} {
 		proto := proto
 		b.Run(proto, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				m, err := machine.New(machine.Config{Protocol: proto, Geom: topo.NewGeometry(4, 4, 4), Seed: 1})
 				if err != nil {
@@ -197,6 +204,7 @@ func BenchmarkProtocolHandoff(b *testing.B) {
 // optimization the paper highlights as a one-knob policy change (§5):
 // OLTP runtime with and without it.
 func BenchmarkAblationMigratory(b *testing.B) {
+	b.ReportAllocs()
 	run := func(disable bool) float64 {
 		eng := simNewEngine()
 		g := topo.NewGeometry(4, 4, 4)

@@ -20,11 +20,18 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one parsed benchmark result line. The three standard
+// series (wall clock, bytes, allocations per op) are first-class fields
+// so the perf trajectory can be charted without knowing each
+// benchmark's custom metric names; Metrics additionally holds every
+// (value, unit) pair verbatim, the standard three included.
 type Benchmark struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics"`
 }
 
 // Report is the BENCH_ci.json artifact shape.
@@ -71,6 +78,14 @@ func parse(r io.Reader) (*Report, error) {
 				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
 			}
 			b.Metrics[fields[i+1]] = v
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
 		}
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
@@ -94,14 +109,22 @@ func cpuSuffix(name string) string {
 }
 
 // summarize prints the runtime table: one row per benchmark with its
-// wall time and the count of extra reported metrics.
+// wall time, allocation profile, and the count of extra reported
+// metrics.
 func summarize(w io.Writer, rep *Report) {
-	fmt.Fprintf(w, "%-40s %14s %8s\n", "benchmark", "time/op (ms)", "metrics")
+	fmt.Fprintf(w, "%-40s %14s %14s %12s %8s\n", "benchmark", "time/op (ms)", "B/op", "allocs/op", "metrics")
 	total := 0.0
 	for _, b := range rep.Benchmarks {
-		ms := b.Metrics["ns/op"] / 1e6
+		ms := b.NsPerOp / 1e6
 		total += ms
-		fmt.Fprintf(w, "%-40s %14.1f %8d\n", b.Name, ms, len(b.Metrics)-1)
+		custom := 0
+		for k := range b.Metrics {
+			if k != "ns/op" && k != "B/op" && k != "allocs/op" {
+				custom++
+			}
+		}
+		fmt.Fprintf(w, "%-40s %14.1f %14.0f %12.0f %8d\n",
+			b.Name, ms, b.BytesPerOp, b.AllocsPerOp, custom)
 	}
 	fmt.Fprintf(w, "%-40s %14.1f\n", "TOTAL", total)
 
@@ -109,7 +132,7 @@ func summarize(w io.Writer, rep *Report) {
 	for _, b := range rep.Benchmarks {
 		keys := make([]string, 0, len(b.Metrics))
 		for k := range b.Metrics {
-			if k != "ns/op" {
+			if k != "ns/op" && k != "B/op" && k != "allocs/op" {
 				keys = append(keys, k)
 			}
 		}

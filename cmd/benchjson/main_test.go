@@ -10,7 +10,7 @@ goarch: amd64
 pkg: tokencmp
 cpu: AMD EPYC
 BenchmarkFig2LockingPersistent-8   	       1	 123456789 ns/op	         1.234 arb0@2locks	         0.900 dst0@512locks
-BenchmarkProtocolHandoff/DirectoryCMP-8  	       2	   1000000 ns/op
+BenchmarkProtocolHandoff/DirectoryCMP-8  	       2	   1000000 ns/op	  491520 B/op	    2048 allocs/op
 PASS
 ok  	tokencmp	12.345s
 `
@@ -45,6 +45,13 @@ func TestParse(t *testing.T) {
 	}
 	if sub.Iterations != 2 {
 		t.Errorf("sub-benchmark iterations = %d", sub.Iterations)
+	}
+	if sub.NsPerOp != 1000000 || sub.BytesPerOp != 491520 || sub.AllocsPerOp != 2048 {
+		t.Errorf("standard series = %v ns/op, %v B/op, %v allocs/op; want 1000000, 491520, 2048",
+			sub.NsPerOp, sub.BytesPerOp, sub.AllocsPerOp)
+	}
+	if b.AllocsPerOp != 0 {
+		t.Errorf("allocs/op without -benchmem = %v, want 0", b.AllocsPerOp)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"tokencmp/internal/cpu"
 	"tokencmp/internal/experiments"
 	"tokencmp/internal/machine"
+	"tokencmp/internal/prof"
 	"tokencmp/internal/runner"
 	"tokencmp/internal/sim"
 	"tokencmp/internal/stats"
@@ -51,6 +52,8 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "concurrent runs (0 = one per CPU)")
 		check    = flag.Bool("check", false, "enable coherence monitors")
 		list     = flag.Bool("list", false, "list protocols and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -71,6 +74,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mcsim: -seeds must be >= 1")
 		os.Exit(2)
 	}
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	g := topo.NewGeometry(*cmps, *procs, *banks)
 	runOne := func(s int64) (oneRun, error) {
@@ -115,6 +125,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		stopProf() // flush a usable CPU profile even on failure
 		os.Exit(1)
 	}
 

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"tokencmp/internal/experiments"
+	"tokencmp/internal/prof"
 	"tokencmp/internal/stats"
 )
 
@@ -25,8 +26,18 @@ func main() {
 		txns  = flag.Int("txns", 30, "transactions per processor")
 		seeds = flag.Int("seeds", 3, "perturbed runs per configuration")
 		jobs  = flag.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU)")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	opt := experiments.DefaultOptions()
 	opt.TxnsPerProc = *txns
@@ -41,6 +52,7 @@ func main() {
 	res, err := experiments.RunCommercial([]string{"OLTP", "Apache", "SPECjbb"}, protos, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		stopProf() // flush a usable CPU profile even on failure
 		os.Exit(1)
 	}
 	if *what == "runtime" || *what == "all" {

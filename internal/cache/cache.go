@@ -77,9 +77,15 @@ func (a *Array[S]) Lookup(b mem.Block) *Line[S] {
 // Touch marks b most recently used.
 func (a *Array[S]) Touch(b mem.Block) {
 	if l := a.Lookup(b); l != nil {
-		a.tick++
-		l.lru = a.tick
+		a.TouchLine(l)
 	}
+}
+
+// TouchLine marks an already-found line most recently used, skipping
+// Touch's set rescan.
+func (a *Array[S]) TouchLine(l *Line[S]) {
+	a.tick++
+	l.lru = a.tick
 }
 
 // Victim returns the line that would be replaced to make room for b: an
@@ -103,22 +109,38 @@ func (a *Array[S]) Victim(b mem.Block) *Line[S] {
 // Install claims a line for b, evicting per Victim. It returns the new
 // line plus, if a live line was displaced, its block and former state so
 // the caller can write it back. The new line's State is the zero value.
+// The hit line, an invalid way, and the LRU victim are all found in one
+// scan of the set (the old Lookup+Touch+Victim sequence scanned it three
+// times).
 func (a *Array[S]) Install(b mem.Block) (line *Line[S], evicted mem.Block, victimState S, wasEvicted bool) {
 	var zero S
-	if l := a.Lookup(b); l != nil {
-		a.Touch(b)
-		return l, 0, zero, false
+	set := a.set(b)
+	var victim *Line[S]
+	for i := range set {
+		l := &set[i]
+		if !l.Valid {
+			if victim == nil || victim.Valid {
+				victim = l // first invalid way wins over any LRU choice
+			}
+			continue
+		}
+		if l.Block == b {
+			a.TouchLine(l)
+			return l, 0, zero, false
+		}
+		if victim == nil || (victim.Valid && l.lru < victim.lru) {
+			victim = l
+		}
 	}
-	v := a.Victim(b)
-	if v.Valid {
-		evicted, victimState, wasEvicted = v.Block, v.State, true
+	if victim.Valid {
+		evicted, victimState, wasEvicted = victim.Block, victim.State, true
 	}
-	v.Block = b
-	v.Valid = true
-	v.State = zero
+	victim.Block = b
+	victim.Valid = true
+	victim.State = zero
 	a.tick++
-	v.lru = a.tick
-	return v, evicted, victimState, wasEvicted
+	victim.lru = a.tick
+	return victim, evicted, victimState, wasEvicted
 }
 
 // InstallAvoiding is Install with a victim predicate: lines for which
@@ -127,22 +149,28 @@ func (a *Array[S]) Install(b mem.Block) (line *Line[S], evicted mem.Block, victi
 // of b's set is unavailable.
 func (a *Array[S]) InstallAvoiding(b mem.Block, avoid func(st *S) bool) (line *Line[S], evicted mem.Block, victimState S, wasEvicted, ok bool) {
 	var zero S
-	if l := a.Lookup(b); l != nil {
-		a.Touch(b)
-		return l, 0, zero, false, true
-	}
 	set := a.set(b)
+	// One scan finds the hit line, the first invalid way, and the LRU
+	// victim together (the old Lookup-then-victim-scan walked the set
+	// twice).
 	var victim *Line[S]
 	for i := range set {
-		if !set[i].Valid {
-			victim = &set[i]
-			break
-		}
-		if avoid != nil && avoid(&set[i].State) {
+		l := &set[i]
+		if !l.Valid {
+			if victim == nil || victim.Valid {
+				victim = l // first invalid way wins over any LRU choice
+			}
 			continue
 		}
-		if victim == nil || set[i].lru < victim.lru {
-			victim = &set[i]
+		if l.Block == b {
+			a.TouchLine(l)
+			return l, 0, zero, false, true
+		}
+		if avoid != nil && avoid(&l.State) {
+			continue
+		}
+		if victim == nil || (victim.Valid && l.lru < victim.lru) {
+			victim = l
 		}
 	}
 	if victim == nil {

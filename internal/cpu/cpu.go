@@ -113,9 +113,14 @@ type Processor struct {
 	lastVal  uint64
 }
 
+// procStep is the closure-free ScheduleCall target for program steps:
+// binding p.step as a method value would allocate on every think
+// interval and access completion.
+func procStep(ctx, _ any) { ctx.(*Processor).step() }
+
 // Start begins executing the program.
 func (p *Processor) Start() {
-	p.Eng.Schedule(0, p.step)
+	p.Eng.ScheduleCall(0, procStep, p, nil)
 }
 
 // Finished reports whether the program has completed.
@@ -133,7 +138,7 @@ func (p *Processor) step() {
 	switch act.Kind {
 	case ActThink:
 		p.Stats.Thinks++
-		p.Eng.Schedule(act.Dur, p.step)
+		p.Eng.ScheduleCall(act.Dur, procStep, p, nil)
 	case ActLoad:
 		p.Stats.Loads++
 		p.access(p.Data, Load, act)

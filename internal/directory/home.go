@@ -19,7 +19,6 @@ type homeLine struct {
 
 // homeTxn is one blocking transaction at the home directory.
 type homeTxn struct {
-	req      *network.Message
 	kind     int
 	oldOwner int
 }
@@ -46,7 +45,7 @@ type HomeCtrl struct {
 
 	dir   map[mem.Block]*homeLine
 	busy  map[mem.Block]*homeTxn
-	queue map[mem.Block][]*network.Message
+	queue map[mem.Block][]network.Message // deferred requests, copied per the ownership contract
 
 	Stats HomeStats
 }
@@ -58,7 +57,7 @@ func newHome(sys *System, id topo.NodeID, cmp int) *HomeCtrl {
 		cmp:   cmp,
 		dir:   make(map[mem.Block]*homeLine),
 		busy:  make(map[mem.Block]*homeTxn),
-		queue: make(map[mem.Block][]*network.Message),
+		queue: make(map[mem.Block][]network.Message),
 	}
 }
 
@@ -90,12 +89,22 @@ func (c *HomeCtrl) DirValue(b mem.Block) (uint64, bool) {
 	return l.value, true
 }
 
+// homeHandle is the closure-free deferred-handling thunk: the home
+// holds a pooled copy of the message across its directory-access delay
+// and frees it afterwards (deferred requests are copied into the queue
+// by value, so the pooled copy never outlives the handler).
+func homeHandle(ctx, arg any) {
+	c, m := ctx.(*HomeCtrl), arg.(*network.Message)
+	c.handle(m)
+	c.sys.Net.Free(m)
+}
+
 // Recv implements network.Endpoint. Every directory access pays the
 // controller latency plus the directory lookup (80 ns for the DRAM
 // directory, 0 for DirectoryCMP-zero).
 func (c *HomeCtrl) Recv(m *network.Message) {
 	d := c.sys.Cfg.MemLatency + c.sys.Cfg.DirLatency
-	c.sys.Eng.Schedule(d, func() { c.handle(m) })
+	c.sys.Eng.ScheduleCall(d, homeHandle, c, c.sys.Net.CopyOf(m))
 }
 
 func (c *HomeCtrl) handle(m *network.Message) {
@@ -114,7 +123,7 @@ func (c *HomeCtrl) handle(m *network.Message) {
 func (c *HomeCtrl) admit(m *network.Message) {
 	b := m.Block
 	if c.busy[b] != nil {
-		c.queue[b] = append(c.queue[b], m)
+		c.queue[b] = append(c.queue[b], *m)
 		return
 	}
 	switch m.Kind {
@@ -134,7 +143,7 @@ func (c *HomeCtrl) startGetS(m *network.Message) {
 	c.Stats.GetS++
 	b := m.Block
 	hl := c.lineFor(b)
-	c.busy[b] = &homeTxn{req: m, kind: kGetS, oldOwner: hl.owner}
+	c.busy[b] = &homeTxn{kind: kGetS, oldOwner: hl.owner}
 
 	if hl.owner == -1 {
 		// Memory owns the block: read DRAM and grant (E when unshared).
@@ -145,17 +154,18 @@ func (c *HomeCtrl) startGetS(m *network.Message) {
 			gst = grantE
 		}
 		c.Stats.MemReads++
+		req := m.Requestor
 		c.sys.Eng.Schedule(c.dataDelay(), func() {
-			c.sys.Net.Send(&network.Message{
+			c.sys.Net.SendNew(network.Message{
 				Src:       c.id,
-				Dst:       m.Requestor,
+				Dst:       req,
 				Block:     b,
 				Kind:      kData,
 				Class:     stats.ResponseData,
 				HasData:   true,
 				Data:      hl.value,
 				Aux:       packAux(gst, 0, false),
-				Requestor: m.Requestor,
+				Requestor: req,
 			})
 		})
 		return
@@ -164,7 +174,7 @@ func (c *HomeCtrl) startGetS(m *network.Message) {
 	// chip, whose L2 serves it from its writeback buffer in PUT races).
 	c.Stats.Fwds++
 	owner := c.sys.Geom.L2BankFor(hl.owner, b)
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:       c.id,
 		Dst:       owner,
 		Block:     b,
@@ -179,7 +189,7 @@ func (c *HomeCtrl) startGetM(m *network.Message) {
 	b := m.Block
 	hl := c.lineFor(b)
 	reqCMP := c.cmpOf(m.Requestor)
-	c.busy[b] = &homeTxn{req: m, kind: kGetM, oldOwner: hl.owner}
+	c.busy[b] = &homeTxn{kind: kGetM, oldOwner: hl.owner}
 
 	// Invalidate every sharer chip except the requester.
 	acks := 0
@@ -194,7 +204,7 @@ func (c *HomeCtrl) startGetM(m *network.Message) {
 		mask &^= 1 << uint(cmp)
 		acks++
 		c.Stats.Invs++
-		c.sys.Net.Send(&network.Message{
+		c.sys.Net.SendNew(network.Message{
 			Src:       c.id,
 			Dst:       c.sys.Geom.L2BankFor(cmp, b),
 			Block:     b,
@@ -209,22 +219,23 @@ func (c *HomeCtrl) startGetM(m *network.Message) {
 		// Memory data (possibly redundant if the requester was a sharer,
 		// but always current); the fetch overlaps the directory lookup.
 		c.Stats.MemReads++
+		req := m.Requestor
 		c.sys.Eng.Schedule(c.dataDelay(), func() {
-			c.sys.Net.Send(&network.Message{
+			c.sys.Net.SendNew(network.Message{
 				Src:       c.id,
-				Dst:       m.Requestor,
+				Dst:       req,
 				Block:     b,
 				Kind:      kData,
 				Class:     stats.ResponseData,
 				HasData:   true,
 				Data:      hl.value,
 				Aux:       packAux(grantM, acks, false),
-				Requestor: m.Requestor,
+				Requestor: req,
 			})
 		})
 	case hl.owner == reqCMP:
 		// Ownership upgrade: the requester chip already holds the data.
-		c.sys.Net.Send(&network.Message{
+		c.sys.Net.SendNew(network.Message{
 			Src:       c.id,
 			Dst:       m.Requestor,
 			Block:     b,
@@ -236,7 +247,7 @@ func (c *HomeCtrl) startGetM(m *network.Message) {
 	default:
 		// Forward to the owner chip, which sends data to the requester.
 		c.Stats.Fwds++
-		c.sys.Net.Send(&network.Message{
+		c.sys.Net.SendNew(network.Message{
 			Src:       c.id,
 			Dst:       c.sys.Geom.L2BankFor(hl.owner, b),
 			Block:     b,
@@ -251,8 +262,8 @@ func (c *HomeCtrl) startGetM(m *network.Message) {
 func (c *HomeCtrl) startPut(m *network.Message) {
 	c.Stats.Puts++
 	b := m.Block
-	c.busy[b] = &homeTxn{req: m, kind: kPut}
-	c.sys.Net.Send(&network.Message{
+	c.busy[b] = &homeTxn{kind: kPut}
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   m.Src,
 		Block: b,
@@ -321,14 +332,23 @@ func (c *HomeCtrl) drain(b mem.Block) {
 		delete(c.queue, b)
 		return
 	}
-	m := q[0]
+	m := c.sys.Net.NewMessage()
+	*m = q[0]
 	if len(q) == 1 {
 		delete(c.queue, b)
 	} else {
 		c.queue[b] = q[1:]
 	}
-	// Re-admit without paying the directory latency twice is wrong: a
-	// deferred request still performs a directory access when it wakes.
-	d := sim.Time(0)
-	c.sys.Eng.Schedule(d, func() { c.admit(m) })
+	// The deferred request's directory latency was paid at arrival;
+	// re-admit on the next event (through a pooled copy the admit thunk
+	// frees, mirroring the arrival path).
+	c.sys.Eng.ScheduleCall(0, homeAdmit, c, m)
+}
+
+// homeAdmit re-admits a drained request; admit copies it if it must
+// queue again, so the pooled message is always freed here.
+func homeAdmit(ctx, arg any) {
+	c, m := ctx.(*HomeCtrl), arg.(*network.Message)
+	c.admit(m)
+	c.sys.Net.Free(m)
 }

@@ -105,13 +105,13 @@ func (c *L1Ctrl) attempt(kind cpu.AccessKind, b mem.Block, store uint64, done fu
 		switch kind {
 		case cpu.Load, cpu.IFetch:
 			c.Stats.Hits++
-			c.cache.Touch(b)
+			c.cache.TouchLine(l)
 			done(s.data)
 			return
 		default: // Store, Atomic
 			if s.st == l1M || s.st == l1E {
 				c.Stats.Hits++
-				c.cache.Touch(b)
+				c.cache.TouchLine(l)
 				s.st = l1M // silent E→M upgrade
 				old := s.data
 				s.data = store
@@ -142,7 +142,7 @@ func (c *L1Ctrl) attempt(kind cpu.AccessKind, b mem.Block, store uint64, done fu
 	if kind == cpu.Store || kind == cpu.Atomic {
 		req = kGetM
 	}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:       c.id,
 		Dst:       c.bank(b),
 		Block:     b,
@@ -178,7 +178,7 @@ func (c *L1Ctrl) evict(b mem.Block, st l1Line) {
 	}
 	c.Stats.Writebacks++
 	c.wb[b] = &wbEntry{data: st.data, dirty: st.dirty, valid: true}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   c.bank(b),
 		Block: b,
@@ -187,26 +187,39 @@ func (c *L1Ctrl) evict(b mem.Block, st l1Line) {
 	})
 }
 
-// Recv implements network.Endpoint.
-func (c *L1Ctrl) Recv(m *network.Message) {
-	c.sys.Eng.Schedule(c.sys.Cfg.L1Latency, func() { c.handle(m) })
+// dirL1Handle is the closure-free deferred-handling thunk: the L1
+// holds a pooled copy of the message across its tag-access delay (and
+// any response-delay hold) and frees it when handling completes.
+func dirL1Handle(ctx, arg any) {
+	c, m := ctx.(*L1Ctrl), arg.(*network.Message)
+	if c.handle(m) {
+		c.sys.Net.Free(m)
+	}
 }
 
-func (c *L1Ctrl) handle(m *network.Message) {
+// Recv implements network.Endpoint.
+func (c *L1Ctrl) Recv(m *network.Message) {
+	c.sys.Eng.ScheduleCall(c.sys.Cfg.L1Latency, dirL1Handle, c, c.sys.Net.CopyOf(m))
+}
+
+// handle reports whether it is done with m — false means a
+// response-delay hold re-deferred the message, keeping ownership.
+func (c *L1Ctrl) handle(m *network.Message) bool {
 	switch m.Kind {
 	case kData, kGrant:
 		c.handleGrant(m)
 	case kFwdGetS:
-		c.handleFwdGetS(m)
+		return c.handleFwdGetS(m)
 	case kFwdGetM:
-		c.handleFwdGetM(m)
+		return c.handleFwdGetM(m)
 	case kInv:
-		c.handleInv(m)
+		return c.handleInv(m)
 	case kWbGrant:
 		c.handleWbGrant(m)
 	default:
 		panic(fmt.Sprintf("directory: L1 %v cannot handle %s", c.id, kindName(m.Kind)))
 	}
+	return true
 }
 
 func (c *L1Ctrl) handleGrant(m *network.Message) {
@@ -235,7 +248,7 @@ func (c *L1Ctrl) handleGrant(m *network.Message) {
 	case grantM:
 		s.st = l1M
 	}
-	c.cache.Touch(b)
+	c.cache.TouchLine(l)
 
 	var val uint64
 	switch txn.kind {
@@ -252,7 +265,7 @@ func (c *L1Ctrl) handleGrant(m *network.Message) {
 		s.holdUntil = c.sys.Eng.Now() + c.sys.Cfg.ResponseDelay
 	}
 	// Close the intra-CMP directory transaction.
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   c.bank(b),
 		Block: b,
@@ -277,13 +290,12 @@ func (c *L1Ctrl) stateOf(b mem.Block) (data uint64, dirty bool, inWb bool, l *l1
 // response routes through the L2 bank (the paper's hierarchical
 // artifact). A modified line triggers the migratory optimization:
 // invalidate and pass ownership.
-func (c *L1Ctrl) handleFwdGetS(m *network.Message) {
+func (c *L1Ctrl) handleFwdGetS(m *network.Message) bool {
 	b := m.Block
 	data, dirty, inWb, l := c.stateOf(b)
 	if l != nil && l.holdUntil > c.sys.Eng.Now() {
-		at := l.holdUntil
-		c.sys.Eng.ScheduleAt(at, func() { c.handleFwdGetS(m) })
-		return
+		c.sys.Eng.ScheduleCallAt(l.holdUntil, dirL1Handle, c, m)
+		return false
 	}
 	c.Stats.FwdsServed++
 	migratory := false
@@ -302,7 +314,7 @@ func (c *L1Ctrl) handleFwdGetS(m *network.Message) {
 	default:
 		panic(fmt.Sprintf("directory: L1 %v FwdGetS for absent %v", c.id, b))
 	}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:     c.id,
 		Dst:     m.Src, // the L2 bank
 		Block:   b,
@@ -314,17 +326,17 @@ func (c *L1Ctrl) handleFwdGetS(m *network.Message) {
 		Aux:     packAux(grantS, 0, migratory),
 		Proc:    m.Proc,
 	})
+	return true
 }
 
 // handleFwdGetM serves a write forward: send data to the L2 bank and
 // invalidate.
-func (c *L1Ctrl) handleFwdGetM(m *network.Message) {
+func (c *L1Ctrl) handleFwdGetM(m *network.Message) bool {
 	b := m.Block
 	data, dirty, inWb, l := c.stateOf(b)
 	if l != nil && l.holdUntil > c.sys.Eng.Now() {
-		at := l.holdUntil
-		c.sys.Eng.ScheduleAt(at, func() { c.handleFwdGetM(m) })
-		return
+		c.sys.Eng.ScheduleCallAt(l.holdUntil, dirL1Handle, c, m)
+		return false
 	}
 	c.Stats.FwdsServed++
 	switch {
@@ -335,7 +347,7 @@ func (c *L1Ctrl) handleFwdGetM(m *network.Message) {
 	default:
 		panic(fmt.Sprintf("directory: L1 %v FwdGetM for absent %v", c.id, b))
 	}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:     c.id,
 		Dst:     m.Src,
 		Block:   b,
@@ -347,24 +359,24 @@ func (c *L1Ctrl) handleFwdGetM(m *network.Message) {
 		Aux:     packAux(grantM, 0, false),
 		Proc:    m.Proc,
 	})
+	return true
 }
 
 // handleInv invalidates a (possibly stale) sharer entry and acks to the
 // collector named in Requestor.
-func (c *L1Ctrl) handleInv(m *network.Message) {
+func (c *L1Ctrl) handleInv(m *network.Message) bool {
 	b := m.Block
 	if l := c.cache.Lookup(b); l != nil && !l.State.pinned {
 		if l.State.holdUntil > c.sys.Eng.Now() {
-			at := l.State.holdUntil
-			c.sys.Eng.ScheduleAt(at, func() { c.handleInv(m) })
-			return
+			c.sys.Eng.ScheduleCallAt(l.State.holdUntil, dirL1Handle, c, m)
+			return false
 		}
 		c.cache.Invalidate(b)
 	} else if w := c.wb[b]; w != nil {
 		w.valid = false
 	}
 	c.Stats.Invalidations++
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   m.Requestor,
 		Block: b,
@@ -372,6 +384,7 @@ func (c *L1Ctrl) handleInv(m *network.Message) {
 		Class: stats.InvFwdAckTokens,
 		Proc:  m.Proc,
 	})
+	return true
 }
 
 // handleWbGrant completes (or cancels) a three-phase writeback.
@@ -383,7 +396,7 @@ func (c *L1Ctrl) handleWbGrant(m *network.Message) {
 	}
 	delete(c.wb, b)
 	if !w.valid {
-		c.sys.Net.Send(&network.Message{
+		c.sys.Net.SendNew(network.Message{
 			Src:   c.id,
 			Dst:   m.Src,
 			Block: b,
@@ -392,7 +405,7 @@ func (c *L1Ctrl) handleWbGrant(m *network.Message) {
 		})
 		return
 	}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:     c.id,
 		Dst:     m.Src,
 		Block:   b,

@@ -48,8 +48,8 @@ type l2Line struct {
 
 // l2Txn is one local transaction (GetS/GetM from a local L1).
 type l2Txn struct {
-	req  *network.Message
-	kind int
+	requestor topo.NodeID // the requesting L1 (from the GetS/GetM)
+	kind      int
 
 	fwdPending   bool
 	interPending bool
@@ -91,8 +91,9 @@ type extSrv struct {
 	// Eviction recall bookkeeping.
 	evState l2Line
 
-	// Home forwards arriving while this service (an eviction) runs.
-	pendingHome []*network.Message
+	// Home forwards arriving while this service (an eviction) runs,
+	// copied per the ownership contract.
+	pendingHome []network.Message
 }
 
 // L2Stats counts per-bank events.
@@ -117,8 +118,8 @@ type L2Ctrl struct {
 	cache *cache.Array[l2Line]
 	busy  map[mem.Block]*l2Txn
 	ext   map[mem.Block]*extSrv
-	queue map[mem.Block][]*network.Message
-	wb    map[mem.Block]*wbEntry // our three-phase PUTs to home
+	queue map[mem.Block][]network.Message // deferred messages, copied per the ownership contract
+	wb    map[mem.Block]*wbEntry          // our three-phase PUTs to home
 
 	Stats L2Stats
 }
@@ -133,7 +134,7 @@ func newL2(sys *System, id topo.NodeID, cmp, bank int) *L2Ctrl {
 		cache: cache.New[l2Line](cache.Params{SizeBytes: cfg.L2BankSize, Ways: cfg.L2Ways, BlockSize: mem.BlockSize}),
 		busy:  make(map[mem.Block]*l2Txn),
 		ext:   make(map[mem.Block]*extSrv),
-		queue: make(map[mem.Block][]*network.Message),
+		queue: make(map[mem.Block][]network.Message),
 		wb:    make(map[mem.Block]*wbEntry),
 	}
 }
@@ -165,9 +166,19 @@ func (c *L2Ctrl) l1FromBit(bit int) topo.NodeID {
 	return g.L1INode(c.cmp, bit-g.ProcsPerCMP)
 }
 
+// dirL2Handle is the closure-free deferred-handling thunk: the bank
+// holds a pooled copy of the message across its tag-access delay and
+// frees it afterwards (deferred messages are copied into the queues by
+// value, so the pooled copy never outlives the handler).
+func dirL2Handle(ctx, arg any) {
+	c, m := ctx.(*L2Ctrl), arg.(*network.Message)
+	c.handle(m)
+	c.sys.Net.Free(m)
+}
+
 // Recv implements network.Endpoint.
 func (c *L2Ctrl) Recv(m *network.Message) {
-	c.sys.Eng.Schedule(c.sys.Cfg.L2Latency, func() { c.handle(m) })
+	c.sys.Eng.ScheduleCall(c.sys.Cfg.L2Latency, dirL2Handle, c, c.sys.Net.CopyOf(m))
 }
 
 func (c *L2Ctrl) handle(m *network.Message) {
@@ -202,7 +213,7 @@ func (c *L2Ctrl) handle(m *network.Message) {
 func (c *L2Ctrl) admitLocal(m *network.Message) {
 	b := m.Block
 	if c.busy[b] != nil || c.ext[b] != nil {
-		c.queue[b] = append(c.queue[b], m)
+		c.queue[b] = append(c.queue[b], *m)
 		return
 	}
 	c.startLocal(m)
@@ -210,7 +221,7 @@ func (c *L2Ctrl) admitLocal(m *network.Message) {
 
 func (c *L2Ctrl) startLocal(m *network.Message) {
 	b := m.Block
-	txn := &l2Txn{req: m, kind: m.Kind}
+	txn := &l2Txn{requestor: m.Requestor, kind: m.Kind}
 	c.busy[b] = txn
 	line := c.lookup(b)
 	if line != nil {
@@ -253,7 +264,7 @@ func (c *L2Ctrl) startLocal(m *network.Message) {
 }
 
 func (c *L2Ctrl) sendToL1(dst topo.NodeID, b mem.Block, kind, tag, aux int) {
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:       c.id,
 		Dst:       dst,
 		Block:     b,
@@ -297,7 +308,7 @@ func (c *L2Ctrl) grantLocal(b mem.Block, txn *l2Txn) {
 	if line == nil {
 		panic(fmt.Sprintf("directory: L2 %v grantLocal without line for %v", c.id, b))
 	}
-	req := txn.req.Requestor
+	req := txn.requestor
 	reqBit := c.l1Bit(req)
 
 	var gst grantState
@@ -323,7 +334,7 @@ func (c *L2Ctrl) grantLocal(b mem.Block, txn *l2Txn) {
 		line.sharers |= reqBit
 	}
 
-	msg := &network.Message{
+	msg := network.Message{
 		Src:       c.id,
 		Dst:       req,
 		Block:     b,
@@ -344,7 +355,7 @@ func (c *L2Ctrl) grantLocal(b mem.Block, txn *l2Txn) {
 		// longer authoritative.
 		line.hasData = false
 	}
-	c.sys.Net.Send(msg)
+	c.sys.Net.SendNew(msg)
 	// Remain busy until the L1's unblock.
 }
 
@@ -365,7 +376,7 @@ func (c *L2Ctrl) goInter(b mem.Block, txn *l2Txn) {
 	} else {
 		c.Stats.InterGetM++
 	}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:       c.id,
 		Dst:       c.home(b),
 		Block:     b,
@@ -426,7 +437,7 @@ func (c *L2Ctrl) finishRecallIfDone(v mem.Block, srv *extSrv) {
 	if owned {
 		c.Stats.Writebacks++
 		c.wb[v] = &wbEntry{data: srv.data, dirty: srv.dirty, valid: true}
-		c.sys.Net.Send(&network.Message{
+		c.sys.Net.SendNew(network.Message{
 			Src:   c.id,
 			Dst:   c.home(v),
 			Block: v,
@@ -437,8 +448,9 @@ func (c *L2Ctrl) finishRecallIfDone(v mem.Block, srv *extSrv) {
 	delete(c.ext, v)
 	// Home forwards that arrived mid-recall are served now (from the
 	// writeback buffer) — re-admit them.
-	for _, hm := range srv.pendingHome {
-		c.handle(hm)
+	for i := range srv.pendingHome {
+		hm := srv.pendingHome[i]
+		c.handle(&hm)
 	}
 	c.drain(v)
 }
@@ -466,7 +478,7 @@ func (c *L2Ctrl) handleFwdResp(m *network.Message) {
 		}
 		if txn.kind == kGetM {
 			// Remaining local sharers must go before the grant.
-			c.invalidateLocalSharers(b, txn, txn.req.Requestor)
+			c.invalidateLocalSharers(b, txn, txn.requestor)
 			if txn.localAcks > 0 {
 				return
 			}
@@ -588,7 +600,7 @@ func (c *L2Ctrl) finishInterIfDone(b mem.Block, txn *l2Txn) {
 		line.data = txn.interData
 		line.dirty = txn.interDirty
 	}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   c.home(b),
 		Block: b,
@@ -598,7 +610,7 @@ func (c *L2Ctrl) finishInterIfDone(b mem.Block, txn *l2Txn) {
 	})
 
 	if txn.kind == kGetM {
-		c.invalidateLocalSharers(b, txn, txn.req.Requestor)
+		c.invalidateLocalSharers(b, txn, txn.requestor)
 		if txn.localAcks > 0 {
 			return
 		}
@@ -633,7 +645,7 @@ func (c *L2Ctrl) drain(b mem.Block) {
 		} else {
 			c.queue[b] = q[1:]
 		}
-		c.handle(m)
+		c.handle(&m)
 	}
 }
 
@@ -644,13 +656,13 @@ func (c *L2Ctrl) admitHomeFwd(m *network.Message) {
 	b := m.Block
 	if srv := c.ext[b]; srv != nil {
 		if srv.kind == -1 {
-			srv.pendingHome = append(srv.pendingHome, m)
+			srv.pendingHome = append(srv.pendingHome, *m)
 			return
 		}
 		panic(fmt.Sprintf("directory: L2 %v overlapping home services for %v", c.id, b))
 	}
 	if txn := c.busy[b]; txn != nil && !txn.interPending {
-		c.queue[b] = append(c.queue[b], m)
+		c.queue[b] = append(c.queue[b], *m)
 		return
 	}
 	c.startHomeFwd(m)
@@ -732,7 +744,7 @@ func (c *L2Ctrl) finishExtIfDone(b mem.Block, srv *extSrv) {
 	line := c.lookup(b)
 	switch srv.kind {
 	case kFwdGetM:
-		c.sys.Net.Send(&network.Message{
+		c.sys.Net.SendNew(network.Message{
 			Src:       c.id,
 			Dst:       srv.replyTo,
 			Block:     b,
@@ -750,7 +762,7 @@ func (c *L2Ctrl) finishExtIfDone(b mem.Block, srv *extSrv) {
 			// Migratory chip-to-chip transfer: requester gets M; we
 			// invalidate entirely.
 			c.Stats.MigratoryGrants++
-			c.sys.Net.Send(&network.Message{
+			c.sys.Net.SendNew(network.Message{
 				Src:       c.id,
 				Dst:       srv.replyTo,
 				Block:     b,
@@ -778,7 +790,7 @@ func (c *L2Ctrl) finishExtIfDone(b mem.Block, srv *extSrv) {
 				line.ownerL1 = topo.None
 			}
 			line.cs = csO
-			c.sys.Net.Send(&network.Message{
+			c.sys.Net.SendNew(network.Message{
 				Src:       c.id,
 				Dst:       srv.replyTo,
 				Block:     b,
@@ -792,7 +804,7 @@ func (c *L2Ctrl) finishExtIfDone(b mem.Block, srv *extSrv) {
 			})
 		}
 	case kInv:
-		c.sys.Net.Send(&network.Message{
+		c.sys.Net.SendNew(network.Message{
 			Src:   c.id,
 			Dst:   srv.replyTo,
 			Block: b,
@@ -836,7 +848,7 @@ func (c *L2Ctrl) serveFwdFromWb(m *network.Message, w *wbEntry) {
 		gst = grantM
 		w.valid = false
 	}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:       c.id,
 		Dst:       m.Requestor,
 		Block:     b,
@@ -856,13 +868,13 @@ func (c *L2Ctrl) admitHomeInv(m *network.Message) {
 	b := m.Block
 	if srv := c.ext[b]; srv != nil {
 		if srv.kind == -1 {
-			srv.pendingHome = append(srv.pendingHome, m)
+			srv.pendingHome = append(srv.pendingHome, *m)
 			return
 		}
 		panic(fmt.Sprintf("directory: L2 %v overlapping home inv for %v", c.id, b))
 	}
 	if txn := c.busy[b]; txn != nil && !txn.interPending {
-		c.queue[b] = append(c.queue[b], m)
+		c.queue[b] = append(c.queue[b], *m)
 		return
 	}
 	c.Stats.InvsIn++
@@ -873,7 +885,7 @@ func (c *L2Ctrl) admitHomeInv(m *network.Message) {
 		if w := c.wb[b]; w != nil {
 			w.valid = false
 		}
-		c.sys.Net.Send(&network.Message{
+		c.sys.Net.SendNew(network.Message{
 			Src:   c.id,
 			Dst:   m.Requestor,
 			Block: b,
@@ -908,16 +920,16 @@ func (c *L2Ctrl) admitHomeInv(m *network.Message) {
 func (c *L2Ctrl) handlePut(m *network.Message) {
 	b := m.Block
 	if c.busy[b] != nil || c.ext[b] != nil {
-		c.queue[b] = append(c.queue[b], m)
+		c.queue[b] = append(c.queue[b], *m)
 		return
 	}
 	// Grant immediately; the transaction completes on WbData/WbCancel.
 	// Mark busy so conflicting requests defer.
-	c.busy[b] = &l2Txn{req: m, kind: kPut}
+	c.busy[b] = &l2Txn{requestor: m.Requestor, kind: kPut}
 	if line := c.lookup(b); line != nil {
 		line.pinned = true
 	}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   m.Src,
 		Block: b,
@@ -935,7 +947,7 @@ func (c *L2Ctrl) handleWbGrant(m *network.Message) {
 	}
 	delete(c.wb, b)
 	if !w.valid {
-		c.sys.Net.Send(&network.Message{
+		c.sys.Net.SendNew(network.Message{
 			Src:   c.id,
 			Dst:   m.Src,
 			Block: b,
@@ -944,7 +956,7 @@ func (c *L2Ctrl) handleWbGrant(m *network.Message) {
 		})
 		return
 	}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:     c.id,
 		Dst:     m.Src,
 		Block:   b,
@@ -969,7 +981,7 @@ func (c *L2Ctrl) handleWbData(m *network.Message) {
 		// Accept the data; the evictor was the local owner (E/M).
 		if !c.reserve(b) {
 			// Extremely unlikely; absorb by writing through to home.
-			c.sys.Net.Send(&network.Message{
+			c.sys.Net.SendNew(network.Message{
 				Src: c.id, Dst: c.home(b), Block: b, Kind: kPut,
 				Class: stats.WritebackControl,
 			})

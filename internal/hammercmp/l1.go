@@ -99,7 +99,7 @@ func popWbAndReply(sys *System, src topo.NodeID, wb map[mem.Block][]*wbEntry, gm
 		wb[b] = q[1:]
 	}
 	if !w.valid {
-		sys.Net.Send(&network.Message{
+		sys.Net.SendNew(network.Message{
 			Src:   src,
 			Dst:   gm.Src,
 			Block: b,
@@ -112,7 +112,7 @@ func popWbAndReply(sys *System, src topo.NodeID, wb map[mem.Block][]*wbEntry, gm
 	if w.excl {
 		aux = auxExcl
 	}
-	sys.Net.Send(&network.Message{
+	sys.Net.SendNew(network.Message{
 		Src:     src,
 		Dst:     gm.Src,
 		Block:   b,
@@ -194,13 +194,13 @@ func (c *L1Ctrl) attempt(kind cpu.AccessKind, b mem.Block, store uint64, done fu
 		switch kind {
 		case cpu.Load, cpu.IFetch:
 			c.Stats.Hits++
-			c.cache.Touch(b)
+			c.cache.TouchLine(l)
 			done(s.data)
 			return
 		default: // Store, Atomic
 			if s.st == hM || s.st == hE {
 				c.Stats.Hits++
-				c.cache.Touch(b)
+				c.cache.TouchLine(l)
 				s.st = hM // silent E→M upgrade
 				old := s.data
 				s.data = store
@@ -232,7 +232,7 @@ func (c *L1Ctrl) attempt(kind cpu.AccessKind, b mem.Block, store uint64, done fu
 	if kind == cpu.Store || kind == cpu.Atomic {
 		req = kGetM
 	}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:       c.id,
 		Dst:       c.home(b),
 		Block:     b,
@@ -269,7 +269,7 @@ func (c *L1Ctrl) evict(b mem.Block, st l1Line) {
 	}
 	c.Stats.Writebacks++
 	c.wb[b] = append(c.wb[b], &wbEntry{data: st.data, dirty: st.dirty, excl: st.st == hM, valid: true})
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   c.bank(b),
 		Block: b,
@@ -278,24 +278,37 @@ func (c *L1Ctrl) evict(b mem.Block, st l1Line) {
 	})
 }
 
-// Recv implements network.Endpoint.
-func (c *L1Ctrl) Recv(m *network.Message) {
-	c.sys.Eng.Schedule(c.sys.Cfg.L1Latency, func() { c.handle(m) })
+// hammerL1Handle is the closure-free deferred-handling thunk: the L1
+// holds a pooled copy of the message across its tag-access delay (and
+// any response-delay hold) and frees it when handling completes.
+func hammerL1Handle(ctx, arg any) {
+	c, m := ctx.(*L1Ctrl), arg.(*network.Message)
+	if c.handle(m) {
+		c.sys.Net.Free(m)
+	}
 }
 
-func (c *L1Ctrl) handle(m *network.Message) {
+// Recv implements network.Endpoint.
+func (c *L1Ctrl) Recv(m *network.Message) {
+	c.sys.Eng.ScheduleCall(c.sys.Cfg.L1Latency, hammerL1Handle, c, c.sys.Net.CopyOf(m))
+}
+
+// handle reports whether it is done with m — false means a
+// response-delay hold re-deferred the probe, keeping ownership.
+func (c *L1Ctrl) handle(m *network.Message) bool {
 	switch m.Kind {
 	case kAck, kData:
 		c.handleResponse(m)
 	case kMemData:
 		c.handleMemData(m)
 	case kProbeS, kProbeM:
-		c.handleProbe(m)
+		return c.handleProbe(m)
 	case kWbGrant:
 		c.handleWbGrant(m)
 	default:
 		panic(fmt.Sprintf("hammercmp: L1 %v cannot handle %s", c.id, kindName(m.Kind)))
 	}
+	return true
 }
 
 // handleResponse folds one probe response into the broadcast
@@ -398,10 +411,10 @@ func (c *L1Ctrl) maybeComplete(b mem.Block, txn *l1Txn) {
 		s.holdUntil = c.sys.Eng.Now() + c.sys.Cfg.ResponseDelay
 	}
 	s.pinned = false
-	c.cache.Touch(b)
+	c.cache.TouchLine(l)
 
 	// Release the home's per-block serialization.
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   c.home(b),
 		Block: b,
@@ -420,14 +433,13 @@ func (c *L1Ctrl) maybeComplete(b mem.Block, txn *l1Txn) {
 
 // handleProbe answers a broadcast probe: data if we own the block (in
 // the cache or in a pending writeback), an acknowledgment otherwise.
-func (c *L1Ctrl) handleProbe(m *network.Message) {
+func (c *L1Ctrl) handleProbe(m *network.Message) bool {
 	b := m.Block
 	if l := c.cache.Lookup(b); l != nil && l.State.st != hI {
 		s := &l.State
 		if s.holdUntil > c.sys.Eng.Now() {
-			at := s.holdUntil
-			c.sys.Eng.ScheduleAt(at, func() { c.handleProbe(m) })
-			return
+			c.sys.Eng.ScheduleCallAt(s.holdUntil, hammerL1Handle, c, m)
+			return false
 		}
 		c.Stats.ProbesServed++
 		if m.Kind == kProbeS {
@@ -446,7 +458,7 @@ func (c *L1Ctrl) handleProbe(m *network.Message) {
 			default: // hS
 				c.respondAck(m, auxShared)
 			}
-			return
+			return true
 		}
 		// ProbeM: surrender the copy; owners supply the data.
 		if s.st.owner() {
@@ -455,7 +467,7 @@ func (c *L1Ctrl) handleProbe(m *network.Message) {
 			c.respondAck(m, auxShared)
 		}
 		c.invalidate(b, l)
-		return
+		return true
 	}
 	// The copy may live in a pending writeback.
 	if w := validWb(c.wb[b]); w != nil {
@@ -468,9 +480,10 @@ func (c *L1Ctrl) handleProbe(m *network.Message) {
 			// downstream as O, not M.
 			w.excl = false
 		}
-		return
+		return true
 	}
 	c.respondAck(m, 0)
+	return true
 }
 
 // invalidate drops our copy, preserving a pinned placeholder when a
@@ -485,7 +498,7 @@ func (c *L1Ctrl) invalidate(b mem.Block, l *cache.Line[l1Line]) {
 }
 
 func (c *L1Ctrl) respondData(m *network.Message, data uint64, dirty bool, aux int) {
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:     c.id,
 		Dst:     m.Requestor,
 		Block:   m.Block,
@@ -499,7 +512,7 @@ func (c *L1Ctrl) respondData(m *network.Message, data uint64, dirty bool, aux in
 }
 
 func (c *L1Ctrl) respondAck(m *network.Message, aux int) {
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   m.Requestor,
 		Block: m.Block,

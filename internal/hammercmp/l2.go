@@ -43,9 +43,9 @@ type L2Ctrl struct {
 	cmp, bank int
 
 	cache    *cache.Array[l2Line]
-	wb       map[mem.Block][]*wbEntry         // our writebacks to home
-	busy     map[mem.Block]bool               // an L1 Put is in its data window
-	deferred map[mem.Block][]*network.Message // messages deferred behind busy
+	wb       map[mem.Block][]*wbEntry        // our writebacks to home
+	busy     map[mem.Block]bool              // an L1 Put is in its data window
+	deferred map[mem.Block][]network.Message // deferred behind busy, copied per the ownership contract
 
 	Stats L2Stats
 }
@@ -60,15 +60,25 @@ func newL2(sys *System, id topo.NodeID, cmp, bank int) *L2Ctrl {
 		cache:    cache.New[l2Line](cache.Params{SizeBytes: cfg.L2BankSize, Ways: cfg.L2Ways, BlockSize: mem.BlockSize}),
 		wb:       make(map[mem.Block][]*wbEntry),
 		busy:     make(map[mem.Block]bool),
-		deferred: make(map[mem.Block][]*network.Message),
+		deferred: make(map[mem.Block][]network.Message),
 	}
 }
 
 func (c *L2Ctrl) home(b mem.Block) topo.NodeID { return c.sys.Geom.HomeMem(b) }
 
+// hammerL2Handle is the closure-free deferred-handling thunk: the bank
+// holds a pooled copy of the message across its tag-access delay and
+// frees it afterwards (messages deferred behind a writeback window are
+// copied into the deferred queue by value).
+func hammerL2Handle(ctx, arg any) {
+	c, m := ctx.(*L2Ctrl), arg.(*network.Message)
+	c.handle(m)
+	c.sys.Net.Free(m)
+}
+
 // Recv implements network.Endpoint.
 func (c *L2Ctrl) Recv(m *network.Message) {
-	c.sys.Eng.Schedule(c.sys.Cfg.L2Latency, func() { c.handle(m) })
+	c.sys.Eng.ScheduleCall(c.sys.Cfg.L2Latency, hammerL2Handle, c, c.sys.Net.CopyOf(m))
 }
 
 func (c *L2Ctrl) handle(m *network.Message) {
@@ -76,14 +86,14 @@ func (c *L2Ctrl) handle(m *network.Message) {
 	case kProbeS, kProbeM:
 		if c.busy[m.Block] {
 			c.Stats.Deferred++
-			c.deferred[m.Block] = append(c.deferred[m.Block], m)
+			c.deferred[m.Block] = append(c.deferred[m.Block], *m)
 			return
 		}
 		c.handleProbe(m)
 	case kPut:
 		if c.busy[m.Block] {
 			c.Stats.Deferred++
-			c.deferred[m.Block] = append(c.deferred[m.Block], m)
+			c.deferred[m.Block] = append(c.deferred[m.Block], *m)
 			return
 		}
 		c.handlePut(m)
@@ -125,7 +135,7 @@ func (c *L2Ctrl) handleProbe(m *network.Message) {
 }
 
 func (c *L2Ctrl) respondData(m *network.Message, data uint64, dirty bool) {
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:     c.id,
 		Dst:     m.Requestor,
 		Block:   m.Block,
@@ -139,7 +149,7 @@ func (c *L2Ctrl) respondData(m *network.Message, data uint64, dirty bool) {
 }
 
 func (c *L2Ctrl) respondAck(m *network.Message) {
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   m.Requestor,
 		Block: m.Block,
@@ -153,7 +163,7 @@ func (c *L2Ctrl) respondAck(m *network.Message) {
 func (c *L2Ctrl) handlePut(m *network.Message) {
 	c.Stats.PutsIn++
 	c.busy[m.Block] = true
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   m.Src,
 		Block: m.Block,
@@ -190,7 +200,7 @@ func (c *L2Ctrl) handleWbData(m *network.Message) {
 func (c *L2Ctrl) spill(v mem.Block, st l2Line) {
 	c.Stats.Writebacks++
 	c.wb[v] = append(c.wb[v], &wbEntry{data: st.data, dirty: st.dirty, excl: st.st == hM, valid: true})
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   c.home(v),
 		Block: v,
@@ -213,7 +223,7 @@ func (c *L2Ctrl) drain(b mem.Block) {
 		} else {
 			c.deferred[b] = q[1:]
 		}
-		c.handle(m)
+		c.handle(&m)
 	}
 }
 

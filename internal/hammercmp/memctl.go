@@ -40,7 +40,7 @@ type MemCtrl struct {
 
 	mem   map[mem.Block]uint64
 	busy  map[mem.Block]*memTxn
-	queue map[mem.Block][]*network.Message
+	queue map[mem.Block][]network.Message // deferred requests, copied per the ownership contract
 
 	Stats MemStats
 }
@@ -52,7 +52,7 @@ func newMem(sys *System, id topo.NodeID, cmp int) *MemCtrl {
 		cmp:   cmp,
 		mem:   make(map[mem.Block]uint64),
 		busy:  make(map[mem.Block]*memTxn),
-		queue: make(map[mem.Block][]*network.Message),
+		queue: make(map[mem.Block][]network.Message),
 	}
 }
 
@@ -62,9 +62,19 @@ func (c *MemCtrl) MemValue(b mem.Block) (uint64, bool) {
 	return v, ok
 }
 
+// hammerMemHandle is the closure-free deferred-handling thunk: the
+// home holds a pooled copy of the message across its controller delay
+// and frees it afterwards (deferred requests are copied into the queue
+// by value).
+func hammerMemHandle(ctx, arg any) {
+	c, m := ctx.(*MemCtrl), arg.(*network.Message)
+	c.handle(m)
+	c.sys.Net.Free(m)
+}
+
 // Recv implements network.Endpoint.
 func (c *MemCtrl) Recv(m *network.Message) {
-	c.sys.Eng.Schedule(c.sys.Cfg.MemLatency, func() { c.handle(m) })
+	c.sys.Eng.ScheduleCall(c.sys.Cfg.MemLatency, hammerMemHandle, c, c.sys.Net.CopyOf(m))
 }
 
 func (c *MemCtrl) handle(m *network.Message) {
@@ -88,13 +98,13 @@ func (c *MemCtrl) admit(m *network.Message) {
 	b := m.Block
 	if c.busy[b] != nil {
 		c.Stats.Queued++
-		c.queue[b] = append(c.queue[b], m)
+		c.queue[b] = append(c.queue[b], *m)
 		return
 	}
 	c.busy[b] = &memTxn{kind: m.Kind}
 	if m.Kind == kPut {
 		c.Stats.Puts++
-		c.sys.Net.Send(&network.Message{
+		c.sys.Net.SendNew(network.Message{
 			Src:   c.id,
 			Dst:   m.Src,
 			Block: b,
@@ -122,7 +132,7 @@ func (c *MemCtrl) startBroadcast(m *network.Message) {
 			continue
 		}
 		c.Stats.ProbesSent++
-		c.sys.Net.Send(&network.Message{
+		c.sys.Net.SendNew(network.Message{
 			Src:       c.id,
 			Dst:       id,
 			Block:     b,
@@ -137,7 +147,7 @@ func (c *MemCtrl) startBroadcast(m *network.Message) {
 	c.Stats.MemReads++
 	requestor := m.Requestor
 	c.sys.Eng.Schedule(c.sys.Cfg.DRAMLatency, func() {
-		c.sys.Net.Send(&network.Message{
+		c.sys.Net.SendNew(network.Message{
 			Src:     c.id,
 			Dst:     requestor,
 			Block:   b,
@@ -173,13 +183,23 @@ func (c *MemCtrl) drain(b mem.Block) {
 		delete(c.queue, b)
 		return
 	}
-	m := q[0]
+	m := c.sys.Net.NewMessage()
+	*m = q[0]
 	if len(q) == 1 {
 		delete(c.queue, b)
 	} else {
 		c.queue[b] = q[1:]
 	}
 	// The controller decision latency was already paid at arrival;
-	// re-admit immediately.
-	c.sys.Eng.Schedule(0, func() { c.admit(m) })
+	// re-admit on the next event (through a pooled copy the admit thunk
+	// frees, mirroring the arrival path).
+	c.sys.Eng.ScheduleCall(0, hammerMemAdmit, c, m)
+}
+
+// hammerMemAdmit re-admits a drained request; admit copies it if it
+// must queue again, so the pooled message is always freed here.
+func hammerMemAdmit(ctx, arg any) {
+	c, m := ctx.(*MemCtrl), arg.(*network.Message)
+	c.admit(m)
+	c.sys.Net.Free(m)
 }

@@ -19,6 +19,8 @@ package mc
 
 import (
 	"fmt"
+	"hash/maphash"
+	"slices"
 	"time"
 
 	"tokencmp/internal/runner"
@@ -86,11 +88,79 @@ func (r *Result) String() string {
 // with one worker per CPU. Equivalent to CheckJobs(m, limit, 0).
 func Check(m Model, limit int) *Result { return CheckJobs(m, limit, 0) }
 
-// expansion is one frontier state's parallel-computed outputs.
+// expansion is one frontier state's parallel-computed outputs. The
+// successor hashes are computed in the worker, so the serial merge
+// never hashes a state string; mult folds within-expansion duplicate
+// successors into their first occurrence (mult[j] < 0 marks a
+// duplicate, otherwise it is the occurrence count folded into j).
 type expansion struct {
 	succs    []string
+	hashes   []uint64
+	mult     []int32
 	err      error // safety violation, if any
 	deadlock bool
+}
+
+// stateTable is an open-addressed hash set over the discovered-state
+// slice, probed with externally computed hashes. Compared with the old
+// map[string]int it hashes each discovered state exactly once (in a
+// worker, off the serial path) instead of once to probe and again to
+// insert, and growth rehashes from the stored hash words without
+// touching the strings.
+type stateTable struct {
+	hashes []uint64
+	idx    []int32 // state index + 1; 0 marks an empty slot
+	used   int
+}
+
+func newStateTable() *stateTable {
+	const initial = 1 << 10
+	return &stateTable{hashes: make([]uint64, initial), idx: make([]int32, initial)}
+}
+
+// lookup returns the index stored for (h, s), or -1, plus the slot
+// where s belongs.
+func (t *stateTable) lookup(h uint64, s string, states []string) (int32, int) {
+	mask := uint64(len(t.idx) - 1)
+	for slot := h & mask; ; slot = (slot + 1) & mask {
+		stored := t.idx[slot]
+		if stored == 0 {
+			return -1, int(slot)
+		}
+		if t.hashes[slot] == h && states[stored-1] == s {
+			return stored - 1, int(slot)
+		}
+	}
+}
+
+// insert records index at the slot lookup reported, growing at 3/4
+// load.
+func (t *stateTable) insert(slot int, h uint64, index int32, states []string) {
+	t.hashes[slot] = h
+	t.idx[slot] = index + 1
+	t.used++
+	if t.used*4 >= len(t.idx)*3 {
+		t.grow(states)
+	}
+}
+
+func (t *stateTable) grow(states []string) {
+	oldHashes, oldIdx := t.hashes, t.idx
+	t.hashes = make([]uint64, 2*len(oldIdx))
+	t.idx = make([]int32, 2*len(oldIdx))
+	mask := uint64(len(t.idx) - 1)
+	for i, stored := range oldIdx {
+		if stored == 0 {
+			continue
+		}
+		h := oldHashes[i]
+		slot := h & mask
+		for t.idx[slot] != 0 {
+			slot = (slot + 1) & mask
+		}
+		t.hashes[slot] = h
+		t.idx[slot] = stored
+	}
 }
 
 // CheckJobs is Check with an explicit worker count (jobs <= 0 selects
@@ -114,22 +184,24 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 	start := time.Now()
 	res := &Result{Model: m.Name()}
 
-	seen := make(map[string]int) // state → index into states
+	seed := maphash.MakeSeed()
+	table := newStateTable()
 	var states []string
 	var depths []int
 	var preds [][]int32 // predecessor adjacency for backward reachability
 
-	// push records a newly discovered state unless the cap has been
-	// reached, returning its index (-1 if dropped).
-	push := func(s string, depth int) int {
-		if idx, ok := seen[s]; ok {
-			return idx
-		}
-		if len(states) >= limit {
+	// push records a newly discovered state (with its precomputed hash)
+	// unless the cap has been reached, returning its index (-1 if
+	// dropped).
+	push := func(s string, h uint64, depth int) int {
+		if idx, slot := table.lookup(h, s, states); idx >= 0 {
+			return int(idx)
+		} else if len(states) >= limit {
 			return -1
+		} else {
+			table.insert(slot, h, int32(len(states)), states)
 		}
 		idx := len(states)
-		seen[s] = idx
 		states = append(states, s)
 		depths = append(depths, depth)
 		preds = append(preds, nil)
@@ -139,25 +211,66 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 		return idx
 	}
 	for _, s := range m.Initial() {
-		push(s, 0)
+		push(s, maphash.String(seed, s), 0)
 	}
 
 	// BFS appends discoveries to states in level order, so the slice
 	// doubles as the queue: states[lo:hi] is the current level. The
 	// cursor replaces the old frontier = frontier[1:] pop, which pinned
 	// the whole backing array for the life of the run.
+	var exps []expansion // reused across levels
 	for lo := 0; lo < len(states); {
 		hi := len(states)
 		batch := states[lo:hi]
-		exps := make([]expansion, len(batch))
+		if cap(exps) < len(batch) {
+			exps = make([]expansion, len(batch))
+		} else {
+			exps = exps[:len(batch)]
+		}
 		pool.Run(len(batch), func(i int) error {
 			s := batch[i]
+			succs := m.Successors(s)
 			e := &exps[i]
-			e.err = m.Check(s)
-			e.succs = m.Successors(s)
-			e.deadlock = len(e.succs) == 0 && !m.Quiescent(s)
+			*e = expansion{
+				succs:    succs,
+				hashes:   make([]uint64, len(succs)),
+				mult:     make([]int32, len(succs)),
+				err:      m.Check(s),
+				deadlock: len(succs) == 0 && !m.Quiescent(s),
+			}
+			for j, t := range succs {
+				e.hashes[j] = maphash.String(seed, t)
+			}
+			// Fold duplicate successors into their first occurrence so the
+			// serial merge probes the state table once per unique successor
+			// (the occurrence count keeps Transitions and the predecessor
+			// lists exactly as if each duplicate were merged separately).
+			for j := range succs {
+				if e.mult[j] < 0 {
+					continue
+				}
+				e.mult[j] = 1
+				for k := j + 1; k < len(succs); k++ {
+					if e.hashes[k] == e.hashes[j] && e.mult[k] == 0 && succs[k] == succs[j] {
+						e.mult[j]++
+						e.mult[k] = -1
+					}
+				}
+			}
 			return nil
 		})
+		// Pre-size the discovery slices for this level's worst case, so
+		// the merge loop never reallocates mid-level.
+		total := 0
+		for i := range exps {
+			total += len(exps[i].succs)
+		}
+		if room := limit - len(states); total > room {
+			total = room
+		}
+		states = slices.Grow(states, total)
+		depths = slices.Grow(depths, total)
+		preds = slices.Grow(preds, total)
 		for i := range exps {
 			e := &exps[i]
 			if e.err != nil && res.Violation == nil {
@@ -167,13 +280,19 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 			if e.deadlock && res.Deadlock == "" {
 				res.Deadlock = batch[i]
 			}
-			for _, t := range e.succs {
-				ti := push(t, depths[lo+i]+1)
+			for j, t := range e.succs {
+				k := e.mult[j]
+				if k < 0 {
+					continue // duplicate folded into an earlier occurrence
+				}
+				ti := push(t, e.hashes[j], depths[lo+i]+1)
 				if ti < 0 {
 					continue // dropped by the exact state cap
 				}
-				res.Transitions++
-				preds[ti] = append(preds[ti], int32(lo+i))
+				res.Transitions += int(k)
+				for ; k > 0; k-- {
+					preds[ti] = append(preds[ti], int32(lo+i))
+				}
 			}
 		}
 		lo = hi

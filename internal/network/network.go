@@ -5,6 +5,16 @@
 // link, so bursts queue. Delivery order between different links is
 // unordered (it depends only on timing), as the paper requires of token
 // coherence's substrate.
+//
+// # Message ownership
+//
+// Messages are pooled. The network owns every message it delivers: after
+// an Endpoint's Recv returns, the message is reclaimed and its memory
+// reused for a future send. Handlers that need a message beyond Recv
+// must either copy the fields they keep or take an explicit pooled copy
+// with CopyOf (returned later with Free). Building with -tags simdebug
+// scrambles every reclaimed message, so a handler that breaks the
+// contract corrupts its own figures instead of failing silently.
 package network
 
 import (
@@ -46,6 +56,10 @@ type Message struct {
 	Proc      int         // global processor index (persistent requests)
 	Aux       int         // protocol-specific
 	SentAt    sim.Time    // stamped by the network on send
+
+	// pooled marks a message currently sitting in the freelist; Send and
+	// Free check it to catch use-after-free and double-free early.
+	pooled bool
 }
 
 func (m *Message) String() string {
@@ -53,7 +67,9 @@ func (m *Message) String() string {
 		m.Src, m.Dst, m.Block, m.Kind, m.Tokens, m.Owner, m.HasData)
 }
 
-// Endpoint receives delivered messages.
+// Endpoint receives delivered messages. The delivered message belongs
+// to the network: it is reclaimed as soon as Recv returns (see the
+// package ownership contract).
 type Endpoint interface {
 	Recv(m *Message)
 }
@@ -80,16 +96,21 @@ func Default() Config {
 	}
 }
 
-type linkKey struct{ src, dst topo.NodeID }
-
 // Network delivers messages between endpoints.
 type Network struct {
 	Eng  *sim.Engine
 	Geom topo.Geometry
 	Cfg  Config
 
-	endpoints map[topo.NodeID]Endpoint
-	nextFree  map[linkKey]sim.Time
+	// Dense routing state, indexed by NodeID and src*numNodes+dst. The
+	// old map lookups were the hottest line of Send/deliver profiles.
+	numNodes  int
+	endpoints []Endpoint
+	nextFree  []sim.Time
+
+	// free is the message pool. Messages are recycled after delivery,
+	// so the steady-state send path allocates nothing.
+	free []*Message
 
 	// Traffic accumulates the Figure 7 byte counts.
 	Traffic stats.Traffic
@@ -112,12 +133,14 @@ type Network struct {
 
 // New builds a network over geometry g.
 func New(eng *sim.Engine, g topo.Geometry, cfg Config) *Network {
+	n := g.NumNodes()
 	return &Network{
 		Eng:            eng,
 		Geom:           g,
 		Cfg:            cfg,
-		endpoints:      make(map[topo.NodeID]Endpoint),
-		nextFree:       make(map[linkKey]sim.Time),
+		numNodes:       n,
+		endpoints:      make([]Endpoint, n),
+		nextFree:       make([]sim.Time, n*n),
 		TokensInFlight: make(map[mem.Block]int),
 		OwnersInFlight: make(map[mem.Block]int),
 	}
@@ -125,6 +148,61 @@ func New(eng *sim.Engine, g topo.Geometry, cfg Config) *Network {
 
 // Attach registers the endpoint for id.
 func (n *Network) Attach(id topo.NodeID, e Endpoint) { n.endpoints[id] = e }
+
+// NewMessage returns a zeroed message from the pool. The caller fills
+// it and hands it to Send (or SendAfter), transferring ownership back
+// to the network.
+func (n *Network) NewMessage() *Message {
+	if k := len(n.free); k > 0 {
+		m := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+		*m = Message{}
+		return m
+	}
+	return &Message{}
+}
+
+// CopyOf returns a pooled copy of m owned by the caller — the escape
+// hatch for handlers that must hold a delivered message past Recv
+// (e.g. to model an array-access delay before processing). Return it
+// with Free, or hand it to Send.
+func (n *Network) CopyOf(m *Message) *Message {
+	cp := n.NewMessage()
+	*cp = *m
+	cp.pooled = false
+	return cp
+}
+
+// Free returns a caller-owned message to the pool.
+func (n *Network) Free(m *Message) {
+	if m.pooled {
+		panic(fmt.Sprintf("network: double free of %v", m))
+	}
+	poison(m)
+	m.pooled = true
+	n.free = append(n.free, m)
+}
+
+// SendNew copies tmpl into a pooled message and sends it. This is the
+// idiomatic protocol send: the literal stays on the caller's stack and
+// the wire copy comes from the pool, so steady-state sends allocate
+// nothing.
+func (n *Network) SendNew(tmpl Message) {
+	m := n.NewMessage()
+	*m = tmpl
+	n.Send(m)
+}
+
+// sendCall is the closure-free ScheduleCall target for SendAfter.
+func sendCall(ctx, arg any) { ctx.(*Network).Send(arg.(*Message)) }
+
+// SendAfter sends m (pool-owned, from NewMessage or CopyOf) after delay
+// d, modeling controller work between decision and injection. It
+// allocates nothing.
+func (n *Network) SendAfter(d sim.Time, m *Message) {
+	n.Eng.ScheduleCall(d, sendCall, n, m)
+}
 
 // link picks the parameters for src→dst. Memory controllers sit off-chip
 // behind the CMP's memory interface (Table 3: "latency to mem controller
@@ -140,10 +218,18 @@ func (n *Network) link(src, dst topo.NodeID) LinkParams {
 	return n.Cfg.OffChip
 }
 
-// Send queues m for delivery. Messages on the same directed link
-// serialize through its bandwidth; messages on different links are
-// independent and may be reordered relative to each other.
+// deliverCall is the closure-free ScheduleCall target for Send.
+func deliverCall(ctx, arg any) { ctx.(*Network).deliver(arg.(*Message)) }
+
+// Send queues m for delivery and takes ownership of it: after the
+// receiving endpoint's Recv returns, m is reclaimed into the pool.
+// Messages on the same directed link serialize through its bandwidth;
+// messages on different links are independent and may be reordered
+// relative to each other.
 func (n *Network) Send(m *Message) {
+	if m.pooled {
+		panic(fmt.Sprintf("network: send of freed message %v", m))
+	}
 	if m.Size == 0 {
 		if m.HasData {
 			m.Size = DataSize
@@ -185,16 +271,15 @@ func (n *Network) Send(m *Message) {
 	if lp.BytesPerNS > 0 {
 		ser = sim.Time(int64(m.Size) * int64(sim.Nanosecond) / int64(lp.BytesPerNS))
 	}
-	key := linkKey{m.Src, m.Dst}
+	key := int(m.Src)*n.numNodes + int(m.Dst)
 	depart := n.Eng.Now()
-	if free, ok := n.nextFree[key]; ok && free > depart {
+	if free := n.nextFree[key]; free > depart {
 		depart = free
 	}
 	depart += ser
 	n.nextFree[key] = depart
-	deliverAt := depart + lp.Latency
 
-	n.Eng.ScheduleAt(deliverAt, func() { n.deliver(m) })
+	n.Eng.ScheduleCallAt(depart+lp.Latency, deliverCall, n, m)
 }
 
 func (n *Network) deliver(m *Message) {
@@ -214,22 +299,27 @@ func (n *Network) deliver(m *Message) {
 	if n.Monitor != nil {
 		n.Monitor(m)
 	}
-	ep, ok := n.endpoints[m.Dst]
-	if !ok {
+	ep := n.endpoints[m.Dst]
+	if ep == nil {
 		panic(fmt.Sprintf("network: no endpoint attached for %v (message %v)", m.Dst, m))
 	}
 	ep.Recv(m)
+	// The ownership contract: the endpoint is done with m once Recv
+	// returns; reclaim it for the next send.
+	n.Free(m)
 }
 
-// Broadcast sends a copy of template to each destination in dsts,
-// skipping the source itself.
+// Broadcast sends a pooled copy of template to each destination in
+// dsts, skipping the source itself. The template stays caller-owned.
 func (n *Network) Broadcast(template *Message, dsts []topo.NodeID) {
 	for _, d := range dsts {
 		if d == template.Src {
 			continue
 		}
-		cp := *template
+		cp := n.NewMessage()
+		*cp = *template
+		cp.pooled = false
 		cp.Dst = d
-		n.Send(&cp)
+		n.Send(cp)
 	}
 }

@@ -9,13 +9,13 @@ import (
 )
 
 type sink struct {
-	got []*Message
+	got []Message // copied: delivered messages are reclaimed after Recv
 	at  []sim.Time
 	eng *sim.Engine
 }
 
 func (s *sink) Recv(m *Message) {
-	s.got = append(s.got, m)
+	s.got = append(s.got, *m)
 	s.at = append(s.at, s.eng.Now())
 }
 

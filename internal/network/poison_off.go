@@ -1,0 +1,10 @@
+//go:build !simdebug
+
+package network
+
+// PoisonEnabled reports whether recycled messages are scrambled
+// (-tags simdebug builds only).
+const PoisonEnabled = false
+
+// poison is a no-op in release builds; the compiler erases the call.
+func poison(*Message) {}

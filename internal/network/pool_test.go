@@ -1,0 +1,121 @@
+package network
+
+import (
+	"testing"
+
+	"tokencmp/internal/sim"
+	"tokencmp/internal/topo"
+)
+
+// countSink counts deliveries without retaining the message.
+type countSink struct{ n int }
+
+func (s *countSink) Recv(*Message) { s.n++ }
+
+func poolNet() (*sim.Engine, *Network, topo.Geometry) {
+	eng := sim.NewEngine()
+	g := topo.NewGeometry(2, 2, 1)
+	n := New(eng, g, Default())
+	for _, id := range g.AllNodes() {
+		n.Attach(id, &countSink{})
+	}
+	return eng, n, g
+}
+
+// TestPoolRecyclesMessages asserts a delivered message returns to the
+// freelist and is handed out again by the next send.
+func TestPoolRecyclesMessages(t *testing.T) {
+	eng, n, g := poolNet()
+	n.SendNew(Message{Src: g.L1DNode(0, 0), Dst: g.L1DNode(0, 1)})
+	eng.Run(0)
+	if len(n.free) != 1 {
+		t.Fatalf("freelist has %d messages after delivery, want 1", len(n.free))
+	}
+	recycled := n.free[0]
+	if m := n.NewMessage(); m != recycled {
+		t.Error("NewMessage did not reuse the recycled message")
+	} else if *m != (Message{}) {
+		t.Errorf("recycled message not zeroed: %v", m)
+	}
+}
+
+// TestCopyOfFreeRoundTrip asserts the handler escape hatch: a pooled
+// copy is independent of the original and returns to the pool on Free.
+func TestCopyOfFreeRoundTrip(t *testing.T) {
+	_, n, g := poolNet()
+	orig := &Message{Src: g.L1DNode(0, 0), Dst: g.L1DNode(0, 1), Data: 42, Tokens: 3}
+	cp := n.CopyOf(orig)
+	if cp == orig || cp.Data != 42 || cp.Tokens != 3 {
+		t.Fatalf("CopyOf = %v (same pointer: %v)", cp, cp == orig)
+	}
+	n.Free(cp)
+	if len(n.free) != 1 {
+		t.Fatalf("freelist has %d messages after Free, want 1", len(n.free))
+	}
+}
+
+// TestDoubleFreePanics asserts the pool catches double frees.
+func TestDoubleFreePanics(t *testing.T) {
+	_, n, _ := poolNet()
+	m := n.CopyOf(&Message{})
+	n.Free(m)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Free did not panic")
+		}
+	}()
+	n.Free(m)
+}
+
+// TestSendOfFreedPanics asserts a freed message cannot be sent.
+func TestSendOfFreedPanics(t *testing.T) {
+	_, n, g := poolNet()
+	m := n.CopyOf(&Message{Src: g.L1DNode(0, 0), Dst: g.L1DNode(0, 1)})
+	n.Free(m)
+	defer func() {
+		if recover() == nil {
+			t.Error("Send of freed message did not panic")
+		}
+	}()
+	n.Send(m)
+}
+
+// TestSteadyStateSendDoesNotAllocate pins the pooled send→deliver path
+// (control message, no token accounting) at zero allocations.
+func TestSteadyStateSendDoesNotAllocate(t *testing.T) {
+	eng, n, g := poolNet()
+	src, dst := g.L1DNode(0, 0), g.L1DNode(0, 1)
+	// Warm the pool and the event queue.
+	for i := 0; i < 8; i++ {
+		n.SendNew(Message{Src: src, Dst: dst})
+	}
+	eng.Run(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		n.SendNew(Message{Src: src, Dst: dst})
+		eng.Run(0)
+	})
+	if avg != 0 {
+		t.Errorf("send→deliver allocates %.2f per message, want 0", avg)
+	}
+}
+
+// TestBroadcastDrawsFromPool asserts broadcast copies are recycled and
+// reused rather than freshly allocated each wave.
+func TestBroadcastDrawsFromPool(t *testing.T) {
+	eng, n, g := poolNet()
+	tmpl := &Message{Src: g.L1DNode(0, 0), Block: 1}
+	dsts := g.AllNodes()
+	n.Broadcast(tmpl, dsts)
+	eng.Run(0)
+	want := g.NumNodes() - 1
+	if len(n.free) != want {
+		t.Fatalf("freelist has %d messages after broadcast, want %d", len(n.free), want)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		n.Broadcast(tmpl, dsts)
+		eng.Run(0)
+	})
+	if avg != 0 {
+		t.Errorf("broadcast wave allocates %.2f, want 0", avg)
+	}
+}

@@ -174,3 +174,73 @@ func TestTimeString(t *testing.T) {
 		}
 	}
 }
+
+// TestScheduleCallInterleavesWithSchedule asserts the closure-free form
+// shares the (time, sequence) order with plain closures.
+func TestScheduleCallInterleavesWithSchedule(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	record := func(_, arg any) { got = append(got, *arg.(*int)) }
+	one, three := 1, 3
+	e.Schedule(NS(5), func() { got = append(got, 0) })
+	e.ScheduleCall(NS(5), record, nil, &one)
+	e.Schedule(NS(5), func() { got = append(got, 2) })
+	e.ScheduleCallAt(NS(5), record, nil, &three)
+	e.Run(0)
+	if len(got) != 4 || got[0] != 0 || got[1] != 1 || got[2] != 2 || got[3] != 3 {
+		t.Errorf("order = %v, want [0 1 2 3]", got)
+	}
+}
+
+// TestScheduleCallPassesCtxArg asserts ctx and arg arrive untouched.
+func TestScheduleCallPassesCtxArg(t *testing.T) {
+	e := NewEngine()
+	type box struct{ v int }
+	ctx, arg := &box{1}, &box{2}
+	var gotCtx, gotArg *box
+	e.ScheduleCall(NS(1), func(c, a any) { gotCtx, gotArg = c.(*box), a.(*box) }, ctx, arg)
+	e.Run(0)
+	if gotCtx != ctx || gotArg != arg {
+		t.Errorf("ctx/arg = %p/%p, want %p/%p", gotCtx, gotArg, ctx, arg)
+	}
+}
+
+// TestHeapPopsTotalOrder cross-checks the 4-ary heap against a sorted
+// reference over a large pseudo-random schedule.
+func TestHeapPopsTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := NewEngine()
+	const n = 5000
+	var fired []Time
+	for i := 0; i < n; i++ {
+		e.Schedule(Time(rng.Intn(500))*Nanosecond, func() { fired = append(fired, e.Now()) })
+	}
+	e.Run(0)
+	if len(fired) != n {
+		t.Fatalf("fired %d events, want %d", len(fired), n)
+	}
+	for i := 1; i < n; i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("time went backwards at %d: %v < %v", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+// TestScheduleCallDoesNotAllocate pins the closure-free fast path at
+// zero allocations per scheduled+fired event once the queue is warm.
+func TestScheduleCallDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	nop := func(_, _ any) {}
+	// Warm the queue's backing slice.
+	for i := 0; i < 64; i++ {
+		e.ScheduleCall(NS(1), nop, e, nil)
+	}
+	e.Run(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		e.ScheduleCall(NS(1), nop, e, nil)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Errorf("ScheduleCall+Step allocates %.2f per event, want 0", avg)
+	}
+}

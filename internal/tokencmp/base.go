@@ -77,14 +77,14 @@ func (c *base) reeval(b mem.Block) {
 		return
 	}
 
-	var m *network.Message
+	var tmpl network.Message
 	switch {
 	case e.Kind == token.ReqWrite || c.isMem:
 		// Persistent writes collect everything; memory also cedes all on
 		// persistent reads (it needs no read permission and holds the
 		// data the reader must receive).
 		tk, own, hasData, data, dirty := s.TakeAll()
-		m = &network.Message{Tokens: tk, Owner: own, HasData: own && hasData, Data: data, Dirty: dirty}
+		tmpl = network.Message{Tokens: tk, Owner: own, HasData: own && hasData, Data: data, Dirty: dirty}
 	case s.Owner:
 		// Persistent read: the owner keeps one plain token (retaining a
 		// readable copy when it has data) and sends the owner token with
@@ -93,7 +93,7 @@ func (c *base) reeval(b mem.Block) {
 		if give < 1 {
 			give = s.Tokens // owner-only: must surrender the owner token
 		}
-		m = &network.Message{Tokens: give, Owner: true, HasData: true, Data: s.Data, Dirty: s.Dirty}
+		tmpl = network.Message{Tokens: give, Owner: true, HasData: true, Data: s.Data, Dirty: s.Dirty}
 		s.Tokens -= give
 		s.Owner = false
 		s.Dirty = false
@@ -108,29 +108,31 @@ func (c *base) reeval(b mem.Block) {
 		}
 		give := s.Tokens - 1
 		s.Tokens = 1
-		m = &network.Message{Tokens: give}
+		tmpl = network.Message{Tokens: give}
 	}
-	if m.Tokens == 0 && !m.Owner {
+	if tmpl.Tokens == 0 && !tmpl.Owner {
 		return
 	}
 	emptied := s.Tokens == 0
-	m.Src = c.id
-	m.Dst = e.Dest
-	m.Block = b
-	m.Kind = kResponse
-	if m.HasData {
-		m.Class = stats.ResponseData
+	tmpl.Src = c.id
+	tmpl.Dst = e.Dest
+	tmpl.Block = b
+	tmpl.Kind = kResponse
+	if tmpl.HasData {
+		tmpl.Class = stats.ResponseData
 	} else {
-		m.Class = stats.InvFwdAckTokens
+		tmpl.Class = stats.InvFwdAckTokens
 	}
 	if c.noteLoss != nil {
-		c.noteLoss(b, m.Tokens, m.Owner, m.Dst, emptied)
+		c.noteLoss(b, tmpl.Tokens, tmpl.Owner, tmpl.Dst, emptied)
 	}
 	delay := c.accessLatency
-	if m.HasData {
+	if tmpl.HasData {
 		delay += c.dataDelay
 	}
-	c.sys.Eng.Schedule(delay, func() { c.sys.Net.Send(m) })
+	m := c.sys.Net.NewMessage()
+	*m = tmpl
+	c.sys.Net.SendAfter(delay, m)
 	if emptied && c.onEmpty != nil {
 		c.onEmpty(b)
 	}

@@ -279,7 +279,7 @@ func (c *L1Ctrl) issuePersistent(b mem.Block, txn *l1Txn) {
 	// Arbiter-based activation: ask the block's home memory controller.
 	txn.persistentIssued = true
 	c.Stats.PersistentReqs++
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:       c.id,
 		Dst:       c.sys.Geom.HomeMem(b),
 		Block:     b,
@@ -329,7 +329,7 @@ func (c *L1Ctrl) deactivatePersistent(b mem.Block) {
 		c.reeval(b)
 		return
 	}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   c.sys.Geom.HomeMem(b),
 		Block: b,
@@ -349,13 +349,30 @@ func (c *L1Ctrl) recheckMarked() {
 	}
 }
 
+// l1LocalReq and l1ExtReq are the closure-free deferred-request thunks:
+// the L1 holds a pooled copy of the request across its tag-access delay
+// (and any response-delay hold) and frees it when handling completes.
+func l1LocalReq(ctx, arg any) {
+	c, m := ctx.(*L1Ctrl), arg.(*network.Message)
+	if c.handleRequest(m, false) {
+		c.sys.Net.Free(m)
+	}
+}
+
+func l1ExtReq(ctx, arg any) {
+	c, m := ctx.(*L1Ctrl), arg.(*network.Message)
+	if c.handleRequest(m, true) {
+		c.sys.Net.Free(m)
+	}
+}
+
 // Recv implements network.Endpoint.
 func (c *L1Ctrl) Recv(m *network.Message) {
 	switch m.Kind {
 	case kTransient:
-		c.sys.Eng.Schedule(c.sys.Cfg.L1Latency, func() { c.handleRequest(m, false) })
+		c.sys.Eng.ScheduleCall(c.sys.Cfg.L1Latency, l1LocalReq, c, c.sys.Net.CopyOf(m))
 	case kFwdExternal:
-		c.sys.Eng.Schedule(c.sys.Cfg.L1Latency, func() { c.handleRequest(m, true) })
+		c.sys.Eng.ScheduleCall(c.sys.Cfg.L1Latency, l1ExtReq, c, c.sys.Net.CopyOf(m))
 	case kResponse:
 		c.handleResponse(m)
 	case kPersistentDone:
@@ -415,7 +432,7 @@ func (c *L1Ctrl) writebackVictim(victim mem.Block, st token.State) {
 		cls = stats.WritebackData
 	}
 	c.bankFor(victim).noteL1Loss(victim, st.Tokens, st.Owner, c.id, true)
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:     c.id,
 		Dst:     dst,
 		Block:   victim,
@@ -431,37 +448,44 @@ func (c *L1Ctrl) writebackVictim(victim mem.Block, st token.State) {
 
 // handleRequest applies the Section 4 response rules for transient
 // requests: local rules for sibling-L1 requests, external rules for
-// requests forwarded from other CMPs.
-func (c *L1Ctrl) handleRequest(m *network.Message, external bool) {
+// requests forwarded from other CMPs. The controller owns m (a pooled
+// copy); handleRequest reports whether it is done with it — false means
+// the hold re-deferral kept ownership.
+func (c *L1Ctrl) handleRequest(m *network.Message, external bool) bool {
 	b := m.Block
 	if c.transientBlocked(b, m.Requestor) {
-		return
+		return true
 	}
 	s := c.lookup(b)
 	if s == nil || s.Tokens == 0 {
-		return
+		return true
 	}
 	now := c.sys.Eng.Now()
 	if s.HoldUntil > now {
-		// Response-delay mechanism: re-handle once the hold expires.
-		c.sys.Eng.ScheduleAt(s.HoldUntil, func() { c.handleRequest(m, external) })
-		return
+		// Response-delay mechanism: re-handle once the hold expires,
+		// keeping ownership of m across the deferral.
+		fn := l1LocalReq
+		if external {
+			fn = l1ExtReq
+		}
+		c.sys.Eng.ScheduleCallAt(s.HoldUntil, fn, c, m)
+		return false
 	}
 	rk := token.ReqKind(m.Aux)
 	T := c.sys.Cfg.T
 
-	var resp *network.Message
+	var resp network.Message
 	emptied := false
 	switch {
 	case rk == token.ReqWrite:
 		tk, own, hasData, data, dirty := s.TakeAll()
-		resp = &network.Message{Tokens: tk, Owner: own, HasData: own && hasData, Data: data, Dirty: dirty}
+		resp = network.Message{Tokens: tk, Owner: own, HasData: own && hasData, Data: data, Dirty: dirty}
 		emptied = true
 	case s.Owner && s.Tokens == T && s.Dirty && !c.sys.Cfg.DisableMigratory:
 		// Migratory sharing: hand everything to the reader.
 		c.Stats.MigratoryGrants++
 		tk, own, _, data, dirty := s.TakeAll()
-		resp = &network.Message{Tokens: tk, Owner: own, HasData: true, Data: data, Dirty: dirty}
+		resp = network.Message{Tokens: tk, Owner: own, HasData: true, Data: data, Dirty: dirty}
 		emptied = true
 	case s.Owner && s.Tokens >= 2:
 		n := 1
@@ -471,19 +495,19 @@ func (c *L1Ctrl) handleRequest(m *network.Message, external bool) {
 			n = minInt(c.sys.Geom.CachesPerCMP(), s.Tokens-1)
 		}
 		s.Tokens -= n
-		resp = &network.Message{Tokens: n, HasData: true, Data: s.Data}
+		resp = network.Message{Tokens: n, HasData: true, Data: s.Data}
 	case s.Owner:
 		// Owner-only: transfer ownership with data rather than starve the
 		// reader.
 		tk, own, _, data, dirty := s.TakeAll()
-		resp = &network.Message{Tokens: tk, Owner: own, HasData: true, Data: data, Dirty: dirty}
+		resp = network.Message{Tokens: tk, Owner: own, HasData: true, Data: data, Dirty: dirty}
 		emptied = true
 	case !external && s.Tokens >= 2 && s.HasData:
 		// Local read served by a non-owner sharer with spare tokens.
 		s.Tokens--
-		resp = &network.Message{Tokens: 1, HasData: true, Data: s.Data}
+		resp = network.Message{Tokens: 1, HasData: true, Data: s.Data}
 	default:
-		return // externally, non-owners stay silent on reads
+		return true // externally, non-owners stay silent on reads
 	}
 
 	resp.Src = c.id
@@ -496,10 +520,11 @@ func (c *L1Ctrl) handleRequest(m *network.Message, external bool) {
 		resp.Class = stats.InvFwdAckTokens
 	}
 	c.notifyLoss(b, resp.Tokens, resp.Owner, resp.Dst, emptied)
-	c.sys.Net.Send(resp)
+	c.sys.Net.SendNew(resp)
 	if emptied {
 		c.cache.Invalidate(b)
 	}
+	return true
 }
 
 func minInt(a, b int) int {

@@ -124,21 +124,39 @@ func (c *L2Ctrl) noteL1Transfer(b mem.Block, from, to topo.NodeID, fromEmptied b
 	c.sharers[b] |= c.l1Bit(to)
 }
 
+// Closure-free deferred-handling thunks: the bank holds a pooled copy
+// of the message across its tag-access delay and frees it afterwards.
+func l2Local(ctx, arg any) {
+	c, m := ctx.(*L2Ctrl), arg.(*network.Message)
+	c.handleLocal(m)
+	c.sys.Net.Free(m)
+}
+
+func l2External(ctx, arg any) {
+	c, m := ctx.(*L2Ctrl), arg.(*network.Message)
+	c.handleExternal(m)
+	c.sys.Net.Free(m)
+}
+
+func l2Writeback(ctx, arg any) {
+	c, m := ctx.(*L2Ctrl), arg.(*network.Message)
+	c.handleWriteback(m)
+	c.sys.Net.Free(m)
+}
+
 // Recv implements network.Endpoint.
 func (c *L2Ctrl) Recv(m *network.Message) {
 	switch m.Kind {
 	case kTransient:
 		if c.sys.Geom.CMPOf(m.Src) == c.cmp {
-			c.sys.Eng.Schedule(c.sys.Cfg.L2Latency, func() { c.handleLocal(m) })
+			c.sys.Eng.ScheduleCall(c.sys.Cfg.L2Latency, l2Local, c, c.sys.Net.CopyOf(m))
 		} else {
-			c.sys.Eng.Schedule(c.sys.Cfg.L2Latency, func() { c.handleExternal(m) })
+			c.sys.Eng.ScheduleCall(c.sys.Cfg.L2Latency, l2External, c, c.sys.Net.CopyOf(m))
 		}
-	case kWriteback:
-		c.sys.Eng.Schedule(c.sys.Cfg.L2Latency, func() { c.handleWriteback(m) })
-	case kResponse:
-		// Stray tokens routed to the bank (e.g. returned by memory);
-		// merge like a writeback.
-		c.sys.Eng.Schedule(c.sys.Cfg.L2Latency, func() { c.handleWriteback(m) })
+	case kWriteback, kResponse:
+		// Stray kResponse tokens routed to the bank (e.g. returned by
+		// memory) merge like a writeback.
+		c.sys.Eng.ScheduleCall(c.sys.Cfg.L2Latency, l2Writeback, c, c.sys.Net.CopyOf(m))
 	default:
 		if c.handlePersistentMsg(m) {
 			return
@@ -150,29 +168,29 @@ func (c *L2Ctrl) Recv(m *network.Message) {
 // respond sends tokens/data from the bank's own state to a requester,
 // applying the Section 4 response rules. external selects the inter-CMP
 // rules (respond to reads only as owner; include up to C tokens). It
-// returns the response sent, or nil.
-func (c *L2Ctrl) respond(m *network.Message, external bool) *network.Message {
+// reports whether a response was sent and whether it carried data.
+func (c *L2Ctrl) respond(m *network.Message, external bool) (responded, withData bool) {
 	b := m.Block
 	if c.transientBlocked(b, m.Requestor) {
-		return nil
+		return false, false
 	}
 	s := c.lookup(b)
 	if s == nil || s.Tokens == 0 {
-		return nil
+		return false, false
 	}
 	rk := token.ReqKind(m.Aux)
 	T := c.sys.Cfg.T
 
-	var resp *network.Message
+	var resp network.Message
 	emptied := false
 	switch {
 	case rk == token.ReqWrite:
 		tk, own, hasData, data, dirty := s.TakeAll()
-		resp = &network.Message{Tokens: tk, Owner: own, HasData: own && hasData, Data: data, Dirty: dirty}
+		resp = network.Message{Tokens: tk, Owner: own, HasData: own && hasData, Data: data, Dirty: dirty}
 		emptied = true
 	case s.Owner && s.Tokens == T && s.Dirty && !c.sys.Cfg.DisableMigratory:
 		tk, own, _, data, dirty := s.TakeAll()
-		resp = &network.Message{Tokens: tk, Owner: own, HasData: true, Data: data, Dirty: dirty}
+		resp = network.Message{Tokens: tk, Owner: own, HasData: true, Data: data, Dirty: dirty}
 		emptied = true
 	case s.Owner && s.Tokens >= 2:
 		n := 1
@@ -180,16 +198,16 @@ func (c *L2Ctrl) respond(m *network.Message, external bool) *network.Message {
 			n = minInt(c.sys.Geom.CachesPerCMP(), s.Tokens-1)
 		}
 		s.Tokens -= n
-		resp = &network.Message{Tokens: n, HasData: true, Data: s.Data}
+		resp = network.Message{Tokens: n, HasData: true, Data: s.Data}
 	case s.Owner:
 		tk, own, _, data, dirty := s.TakeAll()
-		resp = &network.Message{Tokens: tk, Owner: own, HasData: true, Data: data, Dirty: dirty}
+		resp = network.Message{Tokens: tk, Owner: own, HasData: true, Data: data, Dirty: dirty}
 		emptied = true
 	case !external && s.Tokens >= 2 && s.HasData:
 		s.Tokens--
-		resp = &network.Message{Tokens: 1, HasData: true, Data: s.Data}
+		resp = network.Message{Tokens: 1, HasData: true, Data: s.Data}
 	default:
-		return nil
+		return false, false
 	}
 
 	resp.Src = c.id
@@ -206,11 +224,11 @@ func (c *L2Ctrl) respond(m *network.Message, external bool) *network.Message {
 	if g.IsCache(resp.Dst) && g.CMPOf(resp.Dst) == c.cmp {
 		c.noteL1Gain(b, resp.Tokens, resp.Owner, resp.Dst)
 	}
-	c.sys.Net.Send(resp)
+	c.sys.Net.SendNew(resp)
 	if emptied {
 		c.cache.Invalidate(b)
 	}
-	return resp
+	return true, resp.HasData
 }
 
 // handleLocal serves a transient request from a local L1 and decides
@@ -221,8 +239,7 @@ func (c *L2Ctrl) handleLocal(m *network.Message) {
 	b := m.Block
 	rk := token.ReqKind(m.Aux)
 
-	resp := c.respond(m, false)
-	respondedWithData := resp != nil && resp.HasData
+	_, respondedWithData := c.respond(m, false)
 
 	// External decision based on the bank's own remaining tokens plus its
 	// view of tokens held by local L1s.
@@ -278,7 +295,7 @@ func (c *L2Ctrl) handleExternal(m *network.Message) {
 
 	respondedAsOwner := false
 	if s := c.lookup(b); rk == token.ReqRead && s != nil && s.Tokens > 0 && s.Owner {
-		respondedAsOwner = c.respond(m, true) != nil
+		respondedAsOwner, _ = c.respond(m, true)
 	} else if rk == token.ReqWrite {
 		c.respond(m, true)
 	}
@@ -300,7 +317,7 @@ func (c *L2Ctrl) handleExternal(m *network.Message) {
 	}
 	g := c.sys.Geom
 	l1s := g.L1sInCMP(c.cmp)
-	fwd := &network.Message{
+	fwd := network.Message{
 		Src:       c.id,
 		Block:     b,
 		Kind:      kFwdExternal,
@@ -313,9 +330,8 @@ func (c *L2Ctrl) handleExternal(m *network.Message) {
 		mask := c.sharers[b]
 		for _, l1 := range l1s {
 			if mask&c.l1Bit(l1) != 0 {
-				cp := *fwd
-				cp.Dst = l1
-				c.sys.Net.Send(&cp)
+				fwd.Dst = l1
+				c.sys.Net.SendNew(fwd)
 				c.Stats.FwdToL1s++
 			} else {
 				c.Stats.FilteredFwds++
@@ -324,9 +340,8 @@ func (c *L2Ctrl) handleExternal(m *network.Message) {
 		return
 	}
 	for _, l1 := range l1s {
-		cp := *fwd
-		cp.Dst = l1
-		c.sys.Net.Send(&cp)
+		fwd.Dst = l1
+		c.sys.Net.SendNew(fwd)
 		c.Stats.FwdToL1s++
 	}
 }
@@ -353,7 +368,7 @@ func (c *L2Ctrl) writebackVictim(victim mem.Block, st token.State) {
 	if hasData {
 		cls = stats.WritebackData
 	}
-	c.sys.Net.Send(&network.Message{
+	c.sys.Net.SendNew(network.Message{
 		Src:     c.id,
 		Dst:     c.sys.Geom.HomeMem(victim),
 		Block:   victim,

@@ -80,17 +80,43 @@ func (c *MemCtrl) StateOf(b mem.Block) (*token.State, bool) {
 	return s, ok
 }
 
+// Closure-free deferred-handling thunks: the controller holds a pooled
+// copy of the message across its array-access delay and frees it after.
+func memRequest(ctx, arg any) {
+	c, m := ctx.(*MemCtrl), arg.(*network.Message)
+	c.handleRequest(m)
+	c.sys.Net.Free(m)
+}
+
+func memWriteback(ctx, arg any) {
+	c, m := ctx.(*MemCtrl), arg.(*network.Message)
+	c.handleWriteback(m)
+	c.sys.Net.Free(m)
+}
+
+func memArbRequest(ctx, arg any) {
+	c, m := ctx.(*MemCtrl), arg.(*network.Message)
+	c.handleArbRequest(m)
+	c.sys.Net.Free(m)
+}
+
+func memArbDone(ctx, arg any) {
+	c, m := ctx.(*MemCtrl), arg.(*network.Message)
+	c.handleArbDone(m)
+	c.sys.Net.Free(m)
+}
+
 // Recv implements network.Endpoint.
 func (c *MemCtrl) Recv(m *network.Message) {
 	switch m.Kind {
 	case kTransient:
-		c.sys.Eng.Schedule(c.sys.Cfg.MemLatency, func() { c.handleRequest(m) })
+		c.sys.Eng.ScheduleCall(c.sys.Cfg.MemLatency, memRequest, c, c.sys.Net.CopyOf(m))
 	case kWriteback, kResponse:
-		c.sys.Eng.Schedule(c.sys.Cfg.MemLatency, func() { c.handleWriteback(m) })
+		c.sys.Eng.ScheduleCall(c.sys.Cfg.MemLatency, memWriteback, c, c.sys.Net.CopyOf(m))
 	case kArbRequest:
-		c.sys.Eng.Schedule(c.sys.Cfg.MemLatency, func() { c.handleArbRequest(m) })
+		c.sys.Eng.ScheduleCall(c.sys.Cfg.MemLatency, memArbRequest, c, c.sys.Net.CopyOf(m))
 	case kArbDone:
-		c.sys.Eng.Schedule(c.sys.Cfg.MemLatency, func() { c.handleArbDone(m) })
+		c.sys.Eng.ScheduleCall(c.sys.Cfg.MemLatency, memArbDone, c, c.sys.Net.CopyOf(m))
 	default:
 		if c.handlePersistentMsg(m) {
 			return
@@ -111,11 +137,11 @@ func (c *MemCtrl) handleRequest(m *network.Message) {
 	}
 	rk := token.ReqKind(m.Aux)
 
-	var resp *network.Message
+	var tmpl network.Message
 	switch {
 	case rk == token.ReqWrite:
 		tk, own, hasData, data, dirty := s.TakeAll()
-		resp = &network.Message{Tokens: tk, Owner: own, HasData: own && hasData, Data: data, Dirty: dirty}
+		tmpl = network.Message{Tokens: tk, Owner: own, HasData: own && hasData, Data: data, Dirty: dirty}
 	case s.Owner:
 		// Read: when memory holds every token, hand them all over — the
 		// exclusive-clean (E state) analog, letting the reader upgrade to
@@ -124,29 +150,31 @@ func (c *MemCtrl) handleRequest(m *network.Message) {
 		// requests in the reader's CMP hit locally.
 		if s.Tokens == c.sys.Cfg.T || s.Tokens < 2 {
 			tk, own, _, data, dirty := s.TakeAll()
-			resp = &network.Message{Tokens: tk, Owner: own, HasData: true, Data: data, Dirty: dirty}
+			tmpl = network.Message{Tokens: tk, Owner: own, HasData: true, Data: data, Dirty: dirty}
 		} else {
 			n := minInt(c.sys.Geom.CachesPerCMP(), s.Tokens-1)
 			s.Tokens -= n
-			resp = &network.Message{Tokens: n, HasData: true, Data: s.Data}
+			tmpl = network.Message{Tokens: n, HasData: true, Data: s.Data}
 		}
 	default:
 		return // token-only memory stays silent on reads; the owner cache responds
 	}
 
-	resp.Src = c.id
-	resp.Dst = m.Requestor
-	resp.Block = b
-	resp.Kind = kResponse
+	tmpl.Src = c.id
+	tmpl.Dst = m.Requestor
+	tmpl.Block = b
+	tmpl.Kind = kResponse
 	delay := sim.Time(0)
-	if resp.HasData {
-		resp.Class = stats.ResponseData
+	if tmpl.HasData {
+		tmpl.Class = stats.ResponseData
 		delay = c.sys.Cfg.DRAMLatency
 		c.Stats.DataResps++
 	} else {
-		resp.Class = stats.InvFwdAckTokens
+		tmpl.Class = stats.InvFwdAckTokens
 	}
-	c.sys.Eng.Schedule(delay, func() { c.sys.Net.Send(resp) })
+	resp := c.sys.Net.NewMessage()
+	*resp = tmpl
+	c.sys.Net.SendAfter(delay, resp)
 }
 
 func (c *MemCtrl) handleWriteback(m *network.Message) {
