@@ -157,7 +157,9 @@ func benchTraffic(b *testing.B, level stats.Level, tag string) {
 }
 
 // BenchmarkSec5ModelCheck regenerates the Section 5 verification effort
-// comparison (reachable-state counts).
+// comparison (reachable-state counts) and reports checker throughput:
+// states/sec directly bounds how big a configuration Section 5 can
+// verify, so BENCH_ci.json tracks it alongside the allocation series.
 func BenchmarkSec5ModelCheck(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -169,6 +171,9 @@ func BenchmarkSec5ModelCheck(b *testing.B) {
 			b.Fatal("model checking failed")
 		}
 		if i == 0 {
+			states := safety.States + dir.States + hammer.States
+			elapsed := safety.Elapsed + dir.Elapsed + hammer.Elapsed
+			b.ReportMetric(float64(states)/elapsed.Seconds(), "states/sec")
 			b.ReportMetric(float64(safety.States), "safety-states")
 			b.ReportMetric(float64(dir.States), "dir-states")
 			b.ReportMetric(float64(hammer.States), "hammer-states")

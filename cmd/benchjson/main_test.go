@@ -11,6 +11,7 @@ pkg: tokencmp
 cpu: AMD EPYC
 BenchmarkFig2LockingPersistent-8   	       1	 123456789 ns/op	         1.234 arb0@2locks	         0.900 dst0@512locks
 BenchmarkProtocolHandoff/DirectoryCMP-8  	       2	   1000000 ns/op	  491520 B/op	    2048 allocs/op
+BenchmarkSec5ModelCheck-8   	       1	  50000000 ns/op	   218452 states/sec	 1048576 B/op	   12345 allocs/op
 PASS
 ok  	tokencmp	12.345s
 `
@@ -23,8 +24,8 @@ func TestParse(t *testing.T) {
 	if got := rep.Context["goos"]; got != "linux" {
 		t.Errorf("goos = %q", got)
 	}
-	if len(rep.Benchmarks) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
 	}
 	b := rep.Benchmarks[0]
 	if b.Name != "Fig2LockingPersistent" {
@@ -52,6 +53,15 @@ func TestParse(t *testing.T) {
 	}
 	if b.AllocsPerOp != 0 {
 		t.Errorf("allocs/op without -benchmem = %v, want 0", b.AllocsPerOp)
+	}
+	// Checker throughput rides along in the generic metrics map, so
+	// BENCH_ci.json tracks states/sec from the benchmark that reports it.
+	sec5 := rep.Benchmarks[2]
+	if got := sec5.Metrics["states/sec"]; got != 218452 {
+		t.Errorf("states/sec = %v, want 218452", got)
+	}
+	if sec5.BytesPerOp != 1048576 || sec5.AllocsPerOp != 12345 {
+		t.Errorf("sec5 standard series = %v B/op, %v allocs/op", sec5.BytesPerOp, sec5.AllocsPerOp)
 	}
 }
 

@@ -3,7 +3,9 @@
 // simplified flat DirectoryCMP, and the HammerCMP broadcast race
 // window, reporting reachable states, transitions, and model source
 // size (the analog of the paper's TLA+ line counts). -protocol selects
-// a subset (all, token, directory, or hammer).
+// a subset (all, token, directory, or hammer); -caches, -tokens, and
+// -msgs scale the verified configuration beyond the paper's default,
+// and -cpuprofile/-memprofile capture checker profiles.
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 
 	"tokencmp/internal/mc"
 	"tokencmp/internal/mc/models"
+	"tokencmp/internal/prof"
 )
 
 func modelLoC(path string) int {
@@ -33,10 +36,14 @@ func modelLoC(path string) int {
 
 func main() {
 	var (
+		caches   = flag.Int("caches", 3, "caches in every model (the paper's Section 5 scale is 3)")
 		tokens   = flag.Int("tokens", 4, "tokens per block in the token models")
+		msgs     = flag.Int("msgs", 0, "in-flight message bound (0 = per-model default: 2 token, 3 directory, 5 hammer)")
 		limit    = flag.Int("limit", 0, "exact state-count cap (0 = the 5,000,000 default)")
 		jobs     = flag.Int("jobs", 0, "concurrent frontier-expansion workers (0 = one per CPU)")
 		protocol = flag.String("protocol", "all", "which models to check: all, token, directory, or hammer")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -46,7 +53,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "modelcheck: unknown -protocol %q (want all, token, directory, or hammer)\n", *protocol)
 		os.Exit(2)
 	}
+	// The packed encodings store caches, tokens, and message slots in
+	// single bytes (sharers in 30 bits); reject configurations the
+	// layouts cannot carry before a model constructor panics.
+	if *caches < 2 || *caches > 30 {
+		fmt.Fprintln(os.Stderr, "modelcheck: -caches must be in [2, 30]")
+		os.Exit(2)
+	}
+	if *tokens < 1 || *tokens > 254 {
+		fmt.Fprintln(os.Stderr, "modelcheck: -tokens must be in [1, 254]")
+		os.Exit(2)
+	}
+	if *msgs < 0 || *msgs > 60 {
+		fmt.Fprintln(os.Stderr, "modelcheck: -msgs must be in [0, 60]")
+		os.Exit(2)
+	}
+	bound := func(def int) int {
+		if *msgs == 0 {
+			return def
+		}
+		return *msgs
+	}
 	want := func(p string) bool { return *protocol == "all" || *protocol == p }
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	heading := map[string]string{
 		"all":       "the correctness substrate vs a flat directory\nand the HammerCMP broadcast race window",
@@ -57,24 +92,36 @@ func main() {
 	fmt.Printf("Section 5: model checking %s\n", heading[*protocol])
 	fmt.Println("(safety: token conservation / coherence invariant / serial view;")
 	fmt.Println(" liveness: deadlock freedom and AG(pending → EF satisfied))")
+	fmt.Printf("configuration: caches=%d tokens=%d msgs=", *caches, *tokens)
+	if *msgs == 0 {
+		fmt.Println("default")
+	} else {
+		fmt.Println(*msgs)
+	}
 	fmt.Println()
 
+	failed := false
 	run := func(m mc.Model) {
 		res := mc.CheckJobs(m, *limit, *jobs)
-		fmt.Println(res)
+		fmt.Printf("%s (%.0f states/sec)\n", res, res.StatesPerSec())
+		if !res.OK() {
+			failed = true
+		}
 	}
 	if want("token") {
 		for _, act := range []models.Activation{models.SafetyOnly, models.ArbiterAct, models.DistributedAct} {
 			cfg := models.DefaultTokenConfig(act)
+			cfg.Caches = *caches
 			cfg.T = *tokens
+			cfg.MaxMsgs = bound(cfg.MaxMsgs)
 			run(models.NewTokenModel(cfg))
 		}
 	}
 	if want("directory") {
-		run(models.DefaultDirModel())
+		run(models.NewDirModel(*caches, bound(3)))
 	}
 	if want("hammer") {
-		run(models.DefaultHammerModel())
+		run(models.NewHammerModel(*caches, bound(5)))
 	}
 
 	fmt.Println()
@@ -88,5 +135,9 @@ func main() {
 	}
 	if want("hammer") {
 		fmt.Printf("  flat hammer (broadcast):  %d\n", modelLoC("internal/mc/models/hammer.go"))
+	}
+	if failed {
+		stopProf()
+		os.Exit(1)
 	}
 }

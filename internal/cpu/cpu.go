@@ -45,6 +45,34 @@ type MemPort interface {
 	Access(kind AccessKind, addr mem.Addr, store uint64, done func(value uint64))
 }
 
+// PendingAccess parks the parameters of one processor access across an
+// L1 tag-access delay. A processor blocks on each memory operation and
+// each L1 serves one processor port, so one slot per controller
+// suffices and MemPort implementations need no per-call closure (those
+// closures were the simulator's top allocation sites).
+type PendingAccess struct {
+	kind  AccessKind
+	block mem.Block
+	store uint64
+	done  func(uint64)
+}
+
+// Park stores an access, panicking (who names the controller) if one
+// is already parked — that would mean a port wiring bug.
+func (p *PendingAccess) Park(who string, kind AccessKind, block mem.Block, store uint64, done func(uint64)) {
+	if p.done != nil {
+		panic(who + ": access parked while one is already pending")
+	}
+	p.kind, p.block, p.store, p.done = kind, block, store, done
+}
+
+// Take returns the parked access and clears the slot.
+func (p *PendingAccess) Take() (AccessKind, mem.Block, uint64, func(uint64)) {
+	kind, block, store, done := p.kind, p.block, p.store, p.done
+	p.done = nil
+	return kind, block, store, done
+}
+
 // ActionKind tells the processor what to do next.
 type ActionKind int
 
@@ -111,6 +139,8 @@ type Processor struct {
 	finished bool
 	doneAt   sim.Time
 	lastVal  uint64
+	accStart sim.Time     // issue time of the in-flight memory op
+	accDone  func(uint64) // prebound completion callback, built once
 }
 
 // procStep is the closure-free ScheduleCall target for program steps:
@@ -120,6 +150,16 @@ func procStep(ctx, _ any) { ctx.(*Processor).step() }
 
 // Start begins executing the program.
 func (p *Processor) Start() {
+	// A processor blocks on each memory operation, so one completion
+	// closure (reading the issue time off the processor) serves every
+	// access; binding it per access was the simulator's top allocation
+	// site.
+	p.accDone = func(v uint64) {
+		p.Stats.MemOps++
+		p.Stats.MemLatency += p.Eng.Now() - p.accStart
+		p.lastVal = v
+		p.step()
+	}
 	p.Eng.ScheduleCall(0, procStep, p, nil)
 }
 
@@ -158,11 +198,6 @@ func (p *Processor) step() {
 }
 
 func (p *Processor) access(port MemPort, kind AccessKind, act Action) {
-	start := p.Eng.Now()
-	port.Access(kind, act.Addr, act.Value, func(v uint64) {
-		p.Stats.MemOps++
-		p.Stats.MemLatency += p.Eng.Now() - start
-		p.lastVal = v
-		p.step()
-	})
+	p.accStart = p.Eng.Now()
+	port.Access(kind, act.Addr, act.Value, p.accDone)
 }

@@ -66,7 +66,16 @@ type L1Ctrl struct {
 	txns  map[mem.Block]*l1Txn
 	wb    map[mem.Block]*wbEntry
 
+	pend cpu.PendingAccess // access parked across the tag-access delay
+
 	Stats L1Stats
+}
+
+// l1AttemptCall is the closure-free ScheduleCall target for the
+// tag-access delay.
+func l1AttemptCall(ctx, _ any) {
+	c := ctx.(*L1Ctrl)
+	c.attempt(c.pend.Take())
 }
 
 func newL1(sys *System, id topo.NodeID, cmp, proc int, instr bool) *L1Ctrl {
@@ -96,7 +105,8 @@ func (c *L1Ctrl) Access(kind cpu.AccessKind, addr mem.Addr, store uint64, done f
 	if _, busy := c.txns[b]; busy {
 		panic(fmt.Sprintf("directory: L1 %v already busy on %v", c.id, b))
 	}
-	c.sys.Eng.Schedule(c.sys.Cfg.L1Latency, func() { c.attempt(kind, b, store, done) })
+	c.pend.Park("directory: L1", kind, b, store, done)
+	c.sys.Eng.ScheduleCall(c.sys.Cfg.L1Latency, l1AttemptCall, c, nil)
 }
 
 func (c *L1Ctrl) attempt(kind cpu.AccessKind, b mem.Block, store uint64, done func(uint64)) {

@@ -15,9 +15,18 @@
 // nondeterministically (any holder may spill any tokens toward any cache
 // at any time), verifying them covers all possible performance policies,
 // which is the paper's central verification argument.
+//
+// States are fixed-width packed binary keys (built by the models in
+// internal/mc/models), carried as strings at the interface boundary so
+// the state table can intern them. The checker's throughput directly
+// bounds how big a configuration can be verified, so the hot path is
+// allocation-free: workers expand frontiers into reusable SuccBufs,
+// keys are hashed and deduplicated as raw byte views, and only the
+// first discovery of a state materializes an interned string.
 package mc
 
 import (
+	"bytes"
 	"fmt"
 	"hash/maphash"
 	"slices"
@@ -28,14 +37,15 @@ import (
 
 // Model is an encoded-state transition system. Implementations must be
 // safe for concurrent calls: the checker expands each BFS level's
-// frontier across a worker pool.
+// frontier across a worker pool. State keys are packed binary payloads
+// (fixed width per model configuration) carried as strings.
 type Model interface {
 	// Name identifies the model in reports.
 	Name() string
 	// Initial returns the initial states (encoded).
 	Initial() []string
-	// Successors expands a state.
-	Successors(s string) []string
+	// Successors appends the packed keys of s's successors to sb.
+	Successors(s string, sb *SuccBuf)
 	// Check validates safety invariants; a non-nil error is a violation.
 	Check(s string) error
 	// Quiescent reports whether a state is allowed to have no successors.
@@ -66,6 +76,14 @@ func (r *Result) OK() bool {
 	return r.Violation == nil && r.Deadlock == "" && r.Starvation == ""
 }
 
+// StatesPerSec reports exploration throughput.
+func (r *Result) StatesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.States) / r.Elapsed.Seconds()
+}
+
 func (r *Result) String() string {
 	status := "PASS"
 	detail := ""
@@ -89,12 +107,15 @@ func (r *Result) String() string {
 func Check(m Model, limit int) *Result { return CheckJobs(m, limit, 0) }
 
 // expansion is one frontier state's parallel-computed outputs. The
-// successor hashes are computed in the worker, so the serial merge
-// never hashes a state string; mult folds within-expansion duplicate
-// successors into their first occurrence (mult[j] < 0 marks a
-// duplicate, otherwise it is the occurrence count folded into j).
+// successor keys live in the worker-filled SuccBuf and their hashes are
+// computed in the worker, so the serial merge never hashes a key; mult
+// folds within-expansion duplicate successors into their first
+// occurrence (mult[j] < 0 marks a duplicate, otherwise it is the
+// occurrence count folded into j). All three buffers are reused across
+// BFS levels: a worker's allocations stop once it has seen the widest
+// expansion.
 type expansion struct {
-	succs    []string
+	sb       SuccBuf
 	hashes   []uint64
 	mult     []int32
 	err      error // safety violation, if any
@@ -102,11 +123,11 @@ type expansion struct {
 }
 
 // stateTable is an open-addressed hash set over the discovered-state
-// slice, probed with externally computed hashes. Compared with the old
-// map[string]int it hashes each discovered state exactly once (in a
-// worker, off the serial path) instead of once to probe and again to
-// insert, and growth rehashes from the stored hash words without
-// touching the strings.
+// slice, probed with externally computed hashes. It hashes each
+// discovered state exactly once (in a worker, off the serial path),
+// probes with raw byte views (the string(b) == s comparison below does
+// not allocate), and growth rehashes from the stored hash words without
+// touching the keys.
 type stateTable struct {
 	hashes []uint64
 	idx    []int32 // state index + 1; 0 marks an empty slot
@@ -118,16 +139,16 @@ func newStateTable() *stateTable {
 	return &stateTable{hashes: make([]uint64, initial), idx: make([]int32, initial)}
 }
 
-// lookup returns the index stored for (h, s), or -1, plus the slot
-// where s belongs.
-func (t *stateTable) lookup(h uint64, s string, states []string) (int32, int) {
+// lookup returns the index stored for (h, b), or -1, plus the slot
+// where b belongs.
+func (t *stateTable) lookup(h uint64, b []byte, states []string) (int32, int) {
 	mask := uint64(len(t.idx) - 1)
 	for slot := h & mask; ; slot = (slot + 1) & mask {
 		stored := t.idx[slot]
 		if stored == 0 {
 			return -1, int(slot)
 		}
-		if t.hashes[slot] == h && states[stored-1] == s {
+		if t.hashes[slot] == h && states[stored-1] == string(b) {
 			return stored - 1, int(slot)
 		}
 	}
@@ -135,16 +156,16 @@ func (t *stateTable) lookup(h uint64, s string, states []string) (int32, int) {
 
 // insert records index at the slot lookup reported, growing at 3/4
 // load.
-func (t *stateTable) insert(slot int, h uint64, index int32, states []string) {
+func (t *stateTable) insert(slot int, h uint64, index int32) {
 	t.hashes[slot] = h
 	t.idx[slot] = index + 1
 	t.used++
 	if t.used*4 >= len(t.idx)*3 {
-		t.grow(states)
+		t.grow()
 	}
 }
 
-func (t *stateTable) grow(states []string) {
+func (t *stateTable) grow() {
 	oldHashes, oldIdx := t.hashes, t.idx
 	t.hashes = make([]uint64, 2*len(oldIdx))
 	t.idx = make([]int32, 2*len(oldIdx))
@@ -187,71 +208,79 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 	seed := maphash.MakeSeed()
 	table := newStateTable()
 	var states []string
-	var depths []int
-	var preds [][]int32 // predecessor adjacency for backward reachability
+	var depths []int32
+	// Unique predecessor edges, recorded flat during the BFS and
+	// compacted into a CSR adjacency afterwards for the backward
+	// starvation pass: two int32 words per edge instead of a boxed
+	// []int32 per state.
+	var edgeFrom, edgeTo []int32
 
 	// push records a newly discovered state (with its precomputed hash)
 	// unless the cap has been reached, returning its index (-1 if
-	// dropped).
-	push := func(s string, h uint64, depth int) int {
-		if idx, slot := table.lookup(h, s, states); idx >= 0 {
+	// dropped). The key bytes are interned (copied into an owned
+	// string) only on first discovery.
+	push := func(b []byte, h uint64, depth int32) int {
+		if idx, slot := table.lookup(h, b, states); idx >= 0 {
 			return int(idx)
 		} else if len(states) >= limit {
 			return -1
 		} else {
-			table.insert(slot, h, int32(len(states)), states)
+			table.insert(slot, h, int32(len(states)))
 		}
 		idx := len(states)
-		states = append(states, s)
+		states = append(states, string(b))
 		depths = append(depths, depth)
-		preds = append(preds, nil)
-		if depth > res.Diameter {
-			res.Diameter = depth
+		if int(depth) > res.Diameter {
+			res.Diameter = int(depth)
 		}
 		return idx
 	}
 	for _, s := range m.Initial() {
-		push(s, maphash.String(seed, s), 0)
+		b := []byte(s)
+		push(b, maphash.Bytes(seed, b), 0)
 	}
 
 	// BFS appends discoveries to states in level order, so the slice
-	// doubles as the queue: states[lo:hi] is the current level. The
-	// cursor replaces the old frontier = frontier[1:] pop, which pinned
-	// the whole backing array for the life of the run.
+	// doubles as the queue: states[lo:hi] is the current level, walked
+	// with a cursor instead of a frontier[1:] pop that would pin the
+	// whole backing array for the life of the run.
 	var exps []expansion // reused across levels
 	for lo := 0; lo < len(states); {
 		hi := len(states)
 		batch := states[lo:hi]
 		if cap(exps) < len(batch) {
-			exps = make([]expansion, len(batch))
+			next := make([]expansion, len(batch))
+			copy(next, exps[:cap(exps)]) // keep every parked worker buffer, truncated tail included
+			exps = next
 		} else {
 			exps = exps[:len(batch)]
 		}
 		pool.Run(len(batch), func(i int) error {
 			s := batch[i]
-			succs := m.Successors(s)
 			e := &exps[i]
-			*e = expansion{
-				succs:    succs,
-				hashes:   make([]uint64, len(succs)),
-				mult:     make([]int32, len(succs)),
-				err:      m.Check(s),
-				deadlock: len(succs) == 0 && !m.Quiescent(s),
-			}
-			for j, t := range succs {
-				e.hashes[j] = maphash.String(seed, t)
+			e.sb.Reset()
+			m.Successors(s, &e.sb)
+			n := e.sb.Len()
+			e.hashes = slices.Grow(e.hashes[:0], n)[:n]
+			e.mult = slices.Grow(e.mult[:0], n)[:n]
+			clear(e.mult) // the fold below needs a zeroed multiplicity map
+			e.err = m.Check(s)
+			e.deadlock = n == 0 && !m.Quiescent(s)
+			for j := 0; j < n; j++ {
+				e.hashes[j] = maphash.Bytes(seed, e.sb.Key(j))
 			}
 			// Fold duplicate successors into their first occurrence so the
 			// serial merge probes the state table once per unique successor
-			// (the occurrence count keeps Transitions and the predecessor
-			// lists exactly as if each duplicate were merged separately).
-			for j := range succs {
+			// (the occurrence count keeps Transitions exactly as if each
+			// duplicate were merged separately).
+			for j := 0; j < n; j++ {
 				if e.mult[j] < 0 {
 					continue
 				}
 				e.mult[j] = 1
-				for k := j + 1; k < len(succs); k++ {
-					if e.hashes[k] == e.hashes[j] && e.mult[k] == 0 && succs[k] == succs[j] {
+				kj := e.sb.Key(j)
+				for k := j + 1; k < n; k++ {
+					if e.hashes[k] == e.hashes[j] && e.mult[k] == 0 && bytes.Equal(e.sb.Key(k), kj) {
 						e.mult[j]++
 						e.mult[k] = -1
 					}
@@ -263,14 +292,13 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 		// the merge loop never reallocates mid-level.
 		total := 0
 		for i := range exps {
-			total += len(exps[i].succs)
+			total += exps[i].sb.Len()
 		}
 		if room := limit - len(states); total > room {
 			total = room
 		}
 		states = slices.Grow(states, total)
 		depths = slices.Grow(depths, total)
-		preds = slices.Grow(preds, total)
 		for i := range exps {
 			e := &exps[i]
 			if e.err != nil && res.Violation == nil {
@@ -280,28 +308,45 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 			if e.deadlock && res.Deadlock == "" {
 				res.Deadlock = batch[i]
 			}
-			for j, t := range e.succs {
+			depth := depths[lo+i] + 1
+			for j := 0; j < e.sb.Len(); j++ {
 				k := e.mult[j]
 				if k < 0 {
 					continue // duplicate folded into an earlier occurrence
 				}
-				ti := push(t, e.hashes[j], depths[lo+i]+1)
+				ti := push(e.sb.Key(j), e.hashes[j], depth)
 				if ti < 0 {
 					continue // dropped by the exact state cap
 				}
 				res.Transitions += int(k)
-				for ; k > 0; k-- {
-					preds[ti] = append(preds[ti], int32(lo+i))
-				}
+				edgeFrom = append(edgeFrom, int32(lo+i))
+				edgeTo = append(edgeTo, int32(ti))
 			}
 		}
 		lo = hi
 	}
 	res.States = len(states)
 
-	// Starvation check: backward reachability from satisfying states.
-	// The per-state predicates decode in parallel; the propagation
-	// itself is a cheap serial pass over the explored graph.
+	// Starvation check: backward reachability from satisfying states
+	// over a CSR predecessor adjacency (offsets + one flat edge array)
+	// built from the edge list. The per-state predicates decode in
+	// parallel; the propagation itself is a cheap serial pass.
+	offs := make([]int32, len(states)+1)
+	for _, t := range edgeTo {
+		offs[t+1]++
+	}
+	for i := 1; i <= len(states); i++ {
+		offs[i] += offs[i-1]
+	}
+	preds := make([]int32, len(edgeTo))
+	cursor := make([]int32, len(states))
+	copy(cursor, offs[:len(states)])
+	for e, t := range edgeTo {
+		preds[cursor[t]] = edgeFrom[e]
+		cursor[t]++
+	}
+	edgeFrom, edgeTo = nil, nil
+
 	satisfying := make([]bool, len(states))
 	pending := make([]bool, len(states))
 	pool.Stripe(len(states), func(i int) {
@@ -309,7 +354,7 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 		pending[i] = m.Pending(states[i])
 	})
 	canReach := make([]bool, len(states))
-	var stack []int32
+	stack := cursor[:0] // reuse the scatter cursor as the DFS stack
 	for i := range states {
 		if satisfying[i] {
 			canReach[i] = true
@@ -319,7 +364,7 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 	for len(stack) > 0 {
 		i := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range preds[i] {
+		for _, p := range preds[offs[i]:offs[i+1]] {
 			if !canReach[p] {
 				canReach[p] = true
 				stack = append(stack, p)

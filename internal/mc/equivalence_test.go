@@ -1,0 +1,133 @@
+package mc_test
+
+import (
+	"testing"
+
+	"tokencmp/internal/mc"
+	"tokencmp/internal/mc/models"
+)
+
+// TestPackedEquivalence pins the packed-binary encoding to the seed
+// string pipeline: the reachable-state counts below were captured from
+// the pre-refactor checker (fmt-built string states, decode cache) and
+// must be reproduced exactly by the packed models, serially and in
+// parallel. States, Transitions, and Diameter are properties of the
+// reachable graph, so any encoding bug that merges or splits state
+// equivalence classes moves at least one of them.
+func TestPackedEquivalence(t *testing.T) {
+	cases := []struct {
+		name                          string
+		build                         func() mc.Model
+		states, transitions, diameter int
+	}{
+		{"TokenCMP-safety-T4", func() mc.Model {
+			return models.NewTokenModel(models.DefaultTokenConfig(models.SafetyOnly))
+		}, 1020, 6423, 10},
+		{"TokenCMP-arb-T3", func() mc.Model {
+			cfg := models.DefaultTokenConfig(models.ArbiterAct)
+			cfg.T = 3
+			return models.NewTokenModel(cfg)
+		}, 77736, 630655, 17},
+		{"TokenCMP-dst-T3", func() mc.Model {
+			cfg := models.DefaultTokenConfig(models.DistributedAct)
+			cfg.T = 3
+			return models.NewTokenModel(cfg)
+		}, 44280, 365063, 17},
+		{"DirectoryCMP-flat", func() mc.Model {
+			return models.DefaultDirModel()
+		}, 4985, 13539, 28},
+		{"HammerCMP-flat-2c", func() mc.Model {
+			return models.NewHammerModel(2, 5)
+		}, 4947, 13508, 36},
+	}
+	for _, tc := range cases {
+		for _, jobs := range []int{1, 8} {
+			r := mc.CheckJobs(tc.build(), 0, jobs)
+			if !r.OK() {
+				t.Errorf("%s jobs=%d: %v", tc.name, jobs, r)
+				continue
+			}
+			if r.States != tc.states || r.Transitions != tc.transitions || r.Diameter != tc.diameter {
+				t.Errorf("%s jobs=%d: got states=%d transitions=%d diameter=%d, seed had %d/%d/%d",
+					tc.name, jobs, r.States, r.Transitions, r.Diameter,
+					tc.states, tc.transitions, tc.diameter)
+			}
+		}
+	}
+}
+
+// TestPackedEquivalenceFullScale covers the paper-scale T=4 token
+// models and the 3-cache hammer model (the big Section 5 runs), pinned
+// to the same pre-refactor counts.
+func TestPackedEquivalenceFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale equivalence skipped in -short mode")
+	}
+	cases := []struct {
+		name                          string
+		build                         func() mc.Model
+		states, transitions, diameter int
+	}{
+		{"TokenCMP-arb-T4", func() mc.Model {
+			return models.NewTokenModel(models.DefaultTokenConfig(models.ArbiterAct))
+		}, 372880, 3036014, 21},
+		{"TokenCMP-dst-T4", func() mc.Model {
+			return models.NewTokenModel(models.DefaultTokenConfig(models.DistributedAct))
+		}, 212400, 1753337, 22},
+		{"HammerCMP-flat-3c", func() mc.Model {
+			return models.DefaultHammerModel()
+		}, 233339, 913287, 63},
+	}
+	for _, tc := range cases {
+		r := mc.Check(tc.build(), 0)
+		if !r.OK() {
+			t.Errorf("%s: %v", tc.name, r)
+			continue
+		}
+		if r.States != tc.states || r.Transitions != tc.transitions || r.Diameter != tc.diameter {
+			t.Errorf("%s: got states=%d transitions=%d diameter=%d, seed had %d/%d/%d",
+				tc.name, r.States, r.Transitions, r.Diameter,
+				tc.states, tc.transitions, tc.diameter)
+		}
+	}
+}
+
+// TestScaledConfigs pins larger-than-default configurations enabled by
+// the packed encoding (the cmd/modelcheck -caches/-tokens/-msgs
+// scaling flags): counts captured when the configurations were first
+// verified clean. The 4-cache directory needs a 4-message payload
+// bound — with the default 3, a GetM against three sharers can never
+// fit its invalidations plus data, and the model (correctly) reports
+// the resulting throttling deadlock.
+func TestScaledConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled configurations skipped in -short mode")
+	}
+	cases := []struct {
+		name                          string
+		build                         func() mc.Model
+		states, transitions, diameter int
+	}{
+		{"DirectoryCMP-4c-4m", func() mc.Model {
+			return models.NewDirModel(4, 4)
+		}, 62063, 212684, 34},
+		{"TokenCMP-dst-4c-T3", func() mc.Model {
+			cfg := models.DefaultTokenConfig(models.DistributedAct)
+			cfg.Caches = 4
+			cfg.T = 3
+			return models.NewTokenModel(cfg)
+		}, 273325, 2898255, 18},
+	}
+	for _, tc := range cases {
+		r := mc.Check(tc.build(), 0)
+		if !r.OK() {
+			t.Errorf("%s: %v", tc.name, r)
+			continue
+		}
+		if r.States != tc.states || r.Transitions != tc.transitions || r.Diameter != tc.diameter {
+			t.Errorf("%s: got states=%d transitions=%d diameter=%d, want %d/%d/%d",
+				tc.name, r.States, r.Transitions, r.Diameter,
+				tc.states, tc.transitions, tc.diameter)
+		}
+	}
+}

@@ -1,8 +1,9 @@
-package mc
+package mc_test
 
 import (
 	"testing"
 
+	"tokencmp/internal/mc"
 	"tokencmp/internal/mc/models"
 )
 
@@ -17,7 +18,7 @@ func TestHammerFlat(t *testing.T) {
 	if testing.Short() {
 		m = models.NewHammerModel(2, 5)
 	}
-	res := Check(m, 0)
+	res := mc.Check(m, 0)
 	t.Log(res)
 	if !res.OK() {
 		t.Fatalf("hammer broadcast model failed: %v", res)

@@ -1,13 +1,14 @@
-package mc
+package mc_test
 
 import (
 	"testing"
 
+	"tokencmp/internal/mc"
 	"tokencmp/internal/mc/models"
 )
 
 func TestTokenSafetyOnly(t *testing.T) {
-	res := Check(models.NewTokenModel(models.DefaultTokenConfig(models.SafetyOnly)), 0)
+	res := mc.Check(models.NewTokenModel(models.DefaultTokenConfig(models.SafetyOnly)), 0)
 	t.Log(res)
 	if !res.OK() {
 		t.Fatalf("safety-only model failed: %v", res)
@@ -19,7 +20,7 @@ func TestTokenDistributed(t *testing.T) {
 	if testing.Short() {
 		cfg.T = 3
 	}
-	res := Check(models.NewTokenModel(cfg), 0)
+	res := mc.Check(models.NewTokenModel(cfg), 0)
 	t.Log(res)
 	if !res.OK() {
 		t.Fatalf("distributed model failed: %v", res)
@@ -31,7 +32,7 @@ func TestTokenArbiter(t *testing.T) {
 	if testing.Short() {
 		cfg.T = 3
 	}
-	res := Check(models.NewTokenModel(cfg), 0)
+	res := mc.Check(models.NewTokenModel(cfg), 0)
 	t.Log(res)
 	if !res.OK() {
 		t.Fatalf("arbiter model failed: %v", res)
@@ -39,7 +40,7 @@ func TestTokenArbiter(t *testing.T) {
 }
 
 func TestDirectoryFlat(t *testing.T) {
-	res := Check(models.DefaultDirModel(), 0)
+	res := mc.Check(models.DefaultDirModel(), 0)
 	t.Log(res)
 	if !res.OK() {
 		t.Fatalf("flat directory model failed: %v", res)

@@ -2,8 +2,10 @@ package models
 
 import (
 	"fmt"
-	"sort"
-	"strings"
+	"math/bits"
+	"sync"
+
+	"tokencmp/internal/mc"
 )
 
 // DirModel is the simplified, non-hierarchical directory protocol the
@@ -12,12 +14,27 @@ import (
 // and three-phase writeback messages. All intra-CMP detail is omitted,
 // exactly as in the paper (a full hierarchical model is intractable).
 // Its methods are safe for concurrent use, as required by the parallel
-// checker in internal/mc.
+// checker in internal/mc: all mutable state lives in pooled per-call
+// scratch.
 type DirModel struct {
 	caches  int
 	maxMsgs int
-	decode  *stateCache[*dstate]
+
+	// Packed layout (fixed width, offsets precomputed per config):
+	//
+	//	[0, offN)        caches × 2 bytes [st|out<<2|current<<4|waitWB<<5][acks int8]
+	//	[offN]           in-flight message count
+	//	[offM, offD)     slots × 5-byte records [kind][to+1][p][cur|excl<<1][acks int8],
+	//	                 byte-sorted, unused slots 0xFF; slots = maxMsgs payload
+	//	                 messages + one request and one writeback per processor
+	//	[offD, width)    directory: [owner+1][sharers ×4 LE][memCur|busyWB<<1][busy+1][busyOwn+1]
+	offN, offM, offD, width int
+	slots                   int
+
+	pool sync.Pool // *dscratch
 }
+
+const dmsgW = 5 // packed dmsg record width
 
 // dcache is one cache's view: MSI state plus the data-independence bit.
 type dcache struct {
@@ -65,9 +82,41 @@ type dstate struct {
 	BusyWB  bool
 }
 
+// dscratch is one worker's reusable decode/encode workspace.
+type dscratch struct {
+	cur, next dstate
+	key       []byte
+}
+
 // NewDirModel builds the flat directory model.
 func NewDirModel(caches, maxMsgs int) *DirModel {
-	return &DirModel{caches: caches, maxMsgs: maxMsgs, decode: newStateCache[*dstate]()}
+	if caches < 1 || caches > 30 || maxMsgs < 1 || maxMsgs > 60 {
+		panic(fmt.Sprintf("models: directory config out of packed-encoding range: caches=%d maxMsgs=%d", caches, maxMsgs))
+	}
+	m := &DirModel{caches: caches, maxMsgs: maxMsgs}
+	// Payload messages are bounded by maxMsgs; each processor can
+	// additionally have at most one request (GetS/GetM) and one Put
+	// queued, since Out and WaitWB gate re-issue.
+	m.slots = maxMsgs + 2*caches
+	m.offN = 2 * caches
+	m.offM = m.offN + 1
+	m.offD = m.offM + dmsgW*m.slots
+	m.width = m.offD + 8
+	m.pool.New = func() any {
+		return &dscratch{
+			cur:  m.newState(),
+			next: m.newState(),
+			key:  make([]byte, m.width),
+		}
+	}
+	return m
+}
+
+func (m *DirModel) newState() dstate {
+	return dstate{
+		C:    make([]dcache, m.caches),
+		Msgs: make([]dmsg, 0, m.slots+1),
+	}
 }
 
 // DefaultDirModel mirrors the token models' scale.
@@ -76,33 +125,93 @@ func DefaultDirModel() *DirModel { return NewDirModel(3, 3) }
 // Name implements mc.Model.
 func (m *DirModel) Name() string { return "DirectoryCMP-flat" }
 
-func (m *DirModel) encode(s *dstate) string {
-	msgs := append([]dmsg{}, s.Msgs...)
-	sort.Slice(msgs, func(i, j int) bool { return fmt.Sprint(msgs[i]) < fmt.Sprint(msgs[j]) })
-	var b strings.Builder
-	fmt.Fprintf(&b, "C%v M%v O%d S%b mc%v B%d o%d W%v", s.C, msgs, s.Owner, s.Sharers, s.MemCur, s.Busy, s.BusyOwn, s.BusyWB)
-	key := b.String()
-	if _, ok := m.decode.get(key); !ok {
-		m.decode.putIfAbsent(key, &dstate{
-			C: append([]dcache{}, s.C...), Msgs: msgs, Owner: s.Owner,
-			Sharers: s.Sharers, MemCur: s.MemCur, Busy: s.Busy, BusyOwn: s.BusyOwn, BusyWB: s.BusyWB,
-		})
+// encode packs s into key (len m.width), canonicalizing message order
+// by direct byte comparison of the packed records.
+func (m *DirModel) encode(s *dstate, key []byte) {
+	for i, c := range s.C {
+		key[2*i] = byte(c.St) | byte(c.Out)<<2 | flag(c.Current, 4) | flag(c.WaitWB, 5)
+		key[2*i+1] = byte(int8(c.Acks))
 	}
-	return key
+	key[m.offN] = byte(len(s.Msgs))
+	for k, msg := range s.Msgs {
+		off := m.offM + dmsgW*k
+		key[off] = byte(msg.Kind)
+		key[off+1] = byte(msg.To + 1)
+		key[off+2] = byte(msg.P)
+		key[off+3] = flag(msg.Cur, 0) | flag(msg.Excl, 1)
+		key[off+4] = byte(int8(msg.Acks))
+	}
+	sortSlots(key[m.offM:m.offD], len(s.Msgs), dmsgW)
+	padSlots(key[m.offM:m.offD], len(s.Msgs), m.slots, dmsgW)
+	d := key[m.offD:]
+	d[0] = byte(s.Owner + 1)
+	d[1] = byte(s.Sharers)
+	d[2] = byte(s.Sharers >> 8)
+	d[3] = byte(s.Sharers >> 16)
+	d[4] = byte(s.Sharers >> 24)
+	d[5] = flag(s.MemCur, 0) | flag(s.BusyWB, 1)
+	d[6] = byte(s.Busy + 1)
+	d[7] = byte(s.BusyOwn + 1)
 }
 
-func (m *DirModel) clone(s *dstate) *dstate {
-	return &dstate{
-		C: append([]dcache{}, s.C...), Msgs: append([]dmsg{}, s.Msgs...),
-		Owner: s.Owner, Sharers: s.Sharers, MemCur: s.MemCur, Busy: s.Busy,
-		BusyOwn: s.BusyOwn, BusyWB: s.BusyWB,
+// decode unpacks key into s (whose slices are pre-sized scratch).
+func (m *DirModel) decode(key string, s *dstate) {
+	s.C = s.C[:m.caches]
+	for i := range s.C {
+		b0 := key[2*i]
+		s.C[i] = dcache{
+			St:      int(b0 & 3),
+			Out:     int(b0 >> 2 & 3),
+			Current: b0&16 != 0,
+			WaitWB:  b0&32 != 0,
+			Acks:    int(int8(key[2*i+1])),
+		}
 	}
+	s.Msgs = s.Msgs[:0]
+	for k := 0; k < int(key[m.offN]); k++ {
+		off := m.offM + dmsgW*k
+		s.Msgs = append(s.Msgs, dmsg{
+			Kind: int(key[off]),
+			To:   int(key[off+1]) - 1,
+			P:    int(key[off+2]),
+			Cur:  key[off+3]&1 != 0,
+			Excl: key[off+3]&2 != 0,
+			Acks: int(int8(key[off+4])),
+		})
+	}
+	d := key[m.offD:]
+	s.Owner = int(d[0]) - 1
+	s.Sharers = uint32(d[1]) | uint32(d[2])<<8 | uint32(d[3])<<16 | uint32(d[4])<<24
+	s.MemCur = d[5]&1 != 0
+	s.BusyWB = d[5]&2 != 0
+	s.Busy = int(d[6]) - 1
+	s.BusyOwn = int(d[7]) - 1
+}
+
+// stage copies the decoded state into the scratch successor, which the
+// caller mutates and emits before the next stage call.
+func (m *DirModel) stage(sc *dscratch) *dstate {
+	s, n := &sc.cur, &sc.next
+	n.C = n.C[:len(s.C)]
+	copy(n.C, s.C)
+	n.Msgs = append(n.Msgs[:0], s.Msgs...)
+	n.Owner, n.Sharers, n.MemCur = s.Owner, s.Sharers, s.MemCur
+	n.Busy, n.BusyOwn, n.BusyWB = s.Busy, s.BusyOwn, s.BusyWB
+	return n
+}
+
+// emit packs the staged successor and hands it to the checker.
+func (m *DirModel) emit(sb *mc.SuccBuf, sc *dscratch, n *dstate) {
+	m.encode(n, sc.key)
+	sb.Emit(sc.key)
 }
 
 // Initial implements mc.Model.
 func (m *DirModel) Initial() []string {
 	s := &dstate{C: make([]dcache, m.caches), Owner: -1, MemCur: true, Busy: -1, BusyOwn: -1}
-	return []string{m.encode(s)}
+	key := make([]byte, m.width)
+	m.encode(s, key)
+	return []string{string(key)}
 }
 
 // payloadCount counts bounded messages: requests and puts model the
@@ -127,10 +236,11 @@ func (m *DirModel) send(s *dstate, msg dmsg) bool {
 }
 
 // Successors implements mc.Model.
-func (m *DirModel) Successors(key string) []string {
-	s, _ := m.decode.get(key)
-	var out []string
-	emit := func(n *dstate) { out = append(out, m.encode(n)) }
+func (m *DirModel) Successors(key string, sb *mc.SuccBuf) {
+	sc := m.pool.Get().(*dscratch)
+	defer m.pool.Put(sc)
+	s := &sc.cur
+	m.decode(key, s)
 
 	// 1. Processors issue requests and stores, and M caches may evict.
 	for p := 0; p < m.caches; p++ {
@@ -138,32 +248,32 @@ func (m *DirModel) Successors(key string) []string {
 		if c.Out == 0 && !c.WaitWB {
 			if c.St == 0 { // I: may want to read or write
 				for _, kind := range []int{dGetS, dGetM} {
-					n := m.clone(s)
+					n := m.stage(sc)
 					if kind == dGetS {
 						n.C[p].Out = 1
 					} else {
 						n.C[p].Out = 2
 					}
 					if m.send(n, dmsg{Kind: kind, To: -1, P: p}) {
-						emit(n)
+						m.emit(sb, sc, n)
 					}
 				}
 			}
 			if c.St == 1 { // S: may upgrade
-				n := m.clone(s)
+				n := m.stage(sc)
 				n.C[p].Out = 2
 				if m.send(n, dmsg{Kind: dGetM, To: -1, P: p}) {
-					emit(n)
+					m.emit(sb, sc, n)
 				}
 			}
 			if c.St == 2 { // M: store or write back
-				n := m.clone(s)
+				n := m.stage(sc)
 				m.store(n, p)
-				emit(n)
-				n2 := m.clone(s)
+				m.emit(sb, sc, n)
+				n2 := m.stage(sc)
 				n2.C[p].WaitWB = true
 				if m.send(n2, dmsg{Kind: dPut, To: -1, P: p}) {
-					emit(n2)
+					m.emit(sb, sc, n2)
 				}
 			}
 		}
@@ -172,14 +282,14 @@ func (m *DirModel) Successors(key string) []string {
 	// 2. Message deliveries.
 	for k := range s.Msgs {
 		msg := s.Msgs[k]
-		n := m.clone(s)
+		n := m.stage(sc)
 		n.Msgs = append(n.Msgs[:k], n.Msgs[k+1:]...)
 		switch msg.Kind {
 		case dGetS, dGetM:
 			if s.Busy != -1 || s.BusyWB {
 				continue // blocking directory: the request stays queued
 			}
-			m.dirAccept(n, msg, emit)
+			m.dirAccept(n, msg, sb, sc)
 			continue
 		case dPut:
 			if s.Busy != -1 || s.BusyWB {
@@ -188,7 +298,7 @@ func (m *DirModel) Successors(key string) []string {
 			n.Busy = msg.P
 			n.BusyWB = true
 			if m.send(n, dmsg{Kind: dWbGrant, To: msg.P, P: msg.P}) {
-				emit(n)
+				m.emit(sb, sc, n)
 			}
 			continue
 		case dFwdS:
@@ -231,7 +341,6 @@ func (m *DirModel) Successors(key string) []string {
 			if msg.Excl {
 				c.St = 2
 				c.Acks += msg.Acks
-				c.hasDataPending()
 			} else {
 				c.St = 1
 			}
@@ -284,14 +393,9 @@ func (m *DirModel) Successors(key string) []string {
 			n.Busy = -1
 			n.BusyWB = false
 		}
-		emit(n)
+		m.emit(sb, sc, n)
 	}
-	return out
 }
-
-// hasDataPending is a no-op marker kept for readability of the dData
-// handler (the acks counter alone decides completion).
-func (c *dcache) hasDataPending() {}
 
 // store performs processor p's write: its copy becomes the single
 // current one; every other copy and the memory image go stale. A racing
@@ -304,7 +408,7 @@ func (m *DirModel) store(n *dstate, p int) {
 }
 
 // dirAccept starts a directory transaction for a GetS/GetM.
-func (m *DirModel) dirAccept(n *dstate, msg dmsg, emit func(*dstate)) {
+func (m *DirModel) dirAccept(n *dstate, msg dmsg, sb *mc.SuccBuf, sc *dscratch) {
 	p := msg.P
 	n.Busy = p
 	n.BusyOwn = n.Owner
@@ -318,23 +422,20 @@ func (m *DirModel) dirAccept(n *dstate, msg dmsg, emit func(*dstate)) {
 				return
 			}
 		}
-		emit(n)
+		m.emit(sb, sc, n)
 		return
 	}
 	// GetM: invalidate sharers (acks to the requester) and supply data.
-	acks := 0
 	shr := n.Sharers &^ (1 << uint(p))
-	var invs []dmsg
-	for q := 0; q < m.caches; q++ {
-		if shr&(1<<uint(q)) != 0 {
-			acks++
-			invs = append(invs, dmsg{Kind: dInv, To: q, P: p})
-		}
-	}
-	if payloadCount(n)+len(invs)+1 > m.maxMsgs {
+	acks := bits.OnesCount32(shr)
+	if payloadCount(n)+acks+1 > m.maxMsgs {
 		return // bounded-network throttling; the request stays queued
 	}
-	n.Msgs = append(n.Msgs, invs...)
+	for q := 0; q < m.caches; q++ {
+		if shr&(1<<uint(q)) != 0 {
+			n.Msgs = append(n.Msgs, dmsg{Kind: dInv, To: q, P: p})
+		}
+	}
 	n.C[p].Acks += acks
 	switch {
 	case n.Owner == -1:
@@ -350,7 +451,7 @@ func (m *DirModel) dirAccept(n *dstate, msg dmsg, emit func(*dstate)) {
 			return
 		}
 	}
-	emit(n)
+	m.emit(sb, sc, n)
 }
 
 // maybeComplete finishes a requester's transaction when data and all
@@ -371,18 +472,20 @@ func (m *DirModel) maybeComplete(n *dstate, p int) {
 	}
 }
 
-// Check implements mc.Model.
+// Check implements mc.Model. It reads the packed cache records
+// directly — no decode.
 func (m *DirModel) Check(key string) error {
-	s, _ := m.decode.get(key)
 	writers := 0
-	for i, c := range s.C {
-		if c.St == 2 {
+	for i := 0; i < m.caches; i++ {
+		b0 := key[2*i]
+		st, current := int(b0&3), b0&16 != 0
+		if st == 2 {
 			writers++
-			if !c.Current {
+			if !current {
 				return fmt.Errorf("cache %d modifiable with stale data", i)
 			}
 		}
-		if c.St == 1 && !c.Current {
+		if st == 1 && !current {
 			return fmt.Errorf("cache %d readable with stale data (serial view violated)", i)
 		}
 	}
@@ -394,15 +497,13 @@ func (m *DirModel) Check(key string) error {
 
 // Quiescent implements mc.Model.
 func (m *DirModel) Quiescent(key string) bool {
-	s, _ := m.decode.get(key)
-	return len(s.Msgs) == 0 && !m.Pending(key) && s.Busy == -1
+	return key[m.offN] == 0 && !m.Pending(key) && key[m.offD+6] == 0 // busy == -1
 }
 
 // Pending implements mc.Model.
 func (m *DirModel) Pending(key string) bool {
-	s, _ := m.decode.get(key)
-	for _, c := range s.C {
-		if c.Out != 0 || c.WaitWB {
+	for i := 0; i < m.caches; i++ {
+		if key[2*i]&(3<<2|1<<5) != 0 { // out != 0 or waitWB
 			return true
 		}
 	}

@@ -2,8 +2,9 @@ package models
 
 import (
 	"fmt"
-	"sort"
-	"strings"
+	"sync"
+
+	"tokencmp/internal/mc"
 )
 
 // HammerModel is the flat model of the HammerCMP broadcast protocol
@@ -25,12 +26,27 @@ import (
 // home), exactly as the paper flattens intra-CMP detail.
 //
 // Its methods are safe for concurrent use, as required by the parallel
-// checker in internal/mc.
+// checker in internal/mc: all mutable state lives in pooled per-call
+// scratch.
 type HammerModel struct {
 	caches  int
 	maxMsgs int
-	decode  *stateCache[*hstate]
+
+	// Packed layout (fixed width, offsets precomputed per config):
+	//
+	//	[0, offN)        caches × 3 bytes [st|out<<3|wb<<5][7 collection flag bits][resp]
+	//	[offN]           in-flight message count
+	//	[offM, offT)     slots × 4-byte records [kind][to+1][p][cur|migr<<1|shared<<2],
+	//	                 byte-sorted, unused slots 0xFF; slots = maxMsgs payload
+	//	                 messages + one request and one Put per processor + one Done
+	//	[offT, width)    [memCur][busy+1][busyWB+1]
+	offN, offM, offT, width int
+	slots                   int
+
+	pool sync.Pool // *hscratch
 }
+
+const hmsgW = 4 // packed hmsg record width
 
 // Writeback-buffer states.
 const (
@@ -95,9 +111,45 @@ type hstate struct {
 	BusyWB int // evictor whose writeback holds the block, or -1
 }
 
+// hscratch is one worker's reusable decode/encode workspace.
+type hscratch struct {
+	cur, next hstate
+	key       []byte
+}
+
 // NewHammerModel builds the flat broadcast model.
 func NewHammerModel(caches, maxMsgs int) *HammerModel {
-	return &HammerModel{caches: caches, maxMsgs: maxMsgs, decode: newStateCache[*hstate]()}
+	m := &HammerModel{caches: caches, maxMsgs: maxMsgs}
+	// Payload messages (probes, acks, data, memory and writeback data)
+	// are bounded by maxMsgs; the home's input queue additionally holds
+	// at most one request and one Put per processor (Out and the WB
+	// buffer gate re-issue) plus the single in-flight Done.
+	m.slots = maxMsgs + 2*caches + 1
+	// The message count is one byte, so the reachable message bound —
+	// not just caches itself — must stay under 255, or encode would
+	// wrap and silently merge distinct states.
+	if caches < 1 || maxMsgs < 1 || maxMsgs > 60 || m.slots > 255 {
+		panic(fmt.Sprintf("models: hammer config out of packed-encoding range: caches=%d maxMsgs=%d", caches, maxMsgs))
+	}
+	m.offN = 3 * caches
+	m.offM = m.offN + 1
+	m.offT = m.offM + hmsgW*m.slots
+	m.width = m.offT + 3
+	m.pool.New = func() any {
+		return &hscratch{
+			cur:  m.newState(),
+			next: m.newState(),
+			key:  make([]byte, m.width),
+		}
+	}
+	return m
+}
+
+func (m *HammerModel) newState() hstate {
+	return hstate{
+		C:    make([]hcache, m.caches),
+		Msgs: make([]hmsg, 0, m.slots+1),
+	}
 }
 
 // DefaultHammerModel mirrors the other models' scale: three caches and
@@ -107,32 +159,91 @@ func DefaultHammerModel() *HammerModel { return NewHammerModel(3, 5) }
 // Name implements mc.Model.
 func (m *HammerModel) Name() string { return "HammerCMP-flat" }
 
-func (m *HammerModel) encode(s *hstate) string {
-	msgs := append([]hmsg{}, s.Msgs...)
-	sort.Slice(msgs, func(i, j int) bool { return fmt.Sprint(msgs[i]) < fmt.Sprint(msgs[j]) })
-	var b strings.Builder
-	fmt.Fprintf(&b, "C%v M%v mc%v B%d W%d", s.C, msgs, s.MemCur, s.Busy, s.BusyWB)
-	key := b.String()
-	if _, ok := m.decode.get(key); !ok {
-		m.decode.putIfAbsent(key, &hstate{
-			C: append([]hcache{}, s.C...), Msgs: msgs,
-			MemCur: s.MemCur, Busy: s.Busy, BusyWB: s.BusyWB,
-		})
+// encode packs s into key (len m.width), canonicalizing message order
+// by direct byte comparison of the packed records.
+func (m *HammerModel) encode(s *hstate, key []byte) {
+	for i, c := range s.C {
+		key[3*i] = byte(c.St) | byte(c.Out)<<3 | byte(c.WB)<<5
+		key[3*i+1] = flag(c.Cur, 0) | flag(c.MemWait, 1) | flag(c.GotData, 2) |
+			flag(c.GotCur, 3) | flag(c.GotMigr, 4) | flag(c.Shared, 5) | flag(c.MemCur, 6)
+		key[3*i+2] = byte(c.Resp)
 	}
-	return key
+	key[m.offN] = byte(len(s.Msgs))
+	for k, msg := range s.Msgs {
+		off := m.offM + hmsgW*k
+		key[off] = byte(msg.Kind)
+		key[off+1] = byte(msg.To + 1)
+		key[off+2] = byte(msg.P)
+		key[off+3] = flag(msg.Cur, 0) | flag(msg.Migr, 1) | flag(msg.Shared, 2)
+	}
+	sortSlots(key[m.offM:m.offT], len(s.Msgs), hmsgW)
+	padSlots(key[m.offM:m.offT], len(s.Msgs), m.slots, hmsgW)
+	t := key[m.offT:]
+	t[0] = flag(s.MemCur, 0)
+	t[1] = byte(s.Busy + 1)
+	t[2] = byte(s.BusyWB + 1)
 }
 
-func (m *HammerModel) clone(s *hstate) *hstate {
-	return &hstate{
-		C: append([]hcache{}, s.C...), Msgs: append([]hmsg{}, s.Msgs...),
-		MemCur: s.MemCur, Busy: s.Busy, BusyWB: s.BusyWB,
+// decode unpacks key into s (whose slices are pre-sized scratch).
+func (m *HammerModel) decode(key string, s *hstate) {
+	s.C = s.C[:m.caches]
+	for i := range s.C {
+		b0, fl := key[3*i], key[3*i+1]
+		s.C[i] = hcache{
+			St:      int(b0 & 7),
+			Out:     int(b0 >> 3 & 3),
+			WB:      int(b0 >> 5 & 3),
+			Cur:     fl&1 != 0,
+			MemWait: fl&2 != 0,
+			GotData: fl&4 != 0,
+			GotCur:  fl&8 != 0,
+			GotMigr: fl&16 != 0,
+			Shared:  fl&32 != 0,
+			MemCur:  fl&64 != 0,
+			Resp:    int(key[3*i+2]),
+		}
 	}
+	s.Msgs = s.Msgs[:0]
+	for k := 0; k < int(key[m.offN]); k++ {
+		off := m.offM + hmsgW*k
+		s.Msgs = append(s.Msgs, hmsg{
+			Kind:   int(key[off]),
+			To:     int(key[off+1]) - 1,
+			P:      int(key[off+2]),
+			Cur:    key[off+3]&1 != 0,
+			Migr:   key[off+3]&2 != 0,
+			Shared: key[off+3]&4 != 0,
+		})
+	}
+	t := key[m.offT:]
+	s.MemCur = t[0]&1 != 0
+	s.Busy = int(t[1]) - 1
+	s.BusyWB = int(t[2]) - 1
+}
+
+// stage copies the decoded state into the scratch successor, which the
+// caller mutates and emits before the next stage call.
+func (m *HammerModel) stage(sc *hscratch) *hstate {
+	s, n := &sc.cur, &sc.next
+	n.C = n.C[:len(s.C)]
+	copy(n.C, s.C)
+	n.Msgs = append(n.Msgs[:0], s.Msgs...)
+	n.MemCur, n.Busy, n.BusyWB = s.MemCur, s.Busy, s.BusyWB
+	return n
+}
+
+// emit packs the staged successor and hands it to the checker.
+func (m *HammerModel) emit(sb *mc.SuccBuf, sc *hscratch, n *hstate) {
+	m.encode(n, sc.key)
+	sb.Emit(sc.key)
 }
 
 // Initial implements mc.Model.
 func (m *HammerModel) Initial() []string {
 	s := &hstate{C: make([]hcache, m.caches), MemCur: true, Busy: -1, BusyWB: -1}
-	return []string{m.encode(s)}
+	key := make([]byte, m.width)
+	m.encode(s, key)
+	return []string{string(key)}
 }
 
 // hammerPayloadCount counts bounded messages. Requests, puts, and
@@ -164,10 +275,11 @@ func (m *HammerModel) store(n *hstate, p int) {
 }
 
 // Successors implements mc.Model.
-func (m *HammerModel) Successors(key string) []string {
-	s, _ := m.decode.get(key)
-	var out []string
-	emit := func(n *hstate) { out = append(out, m.encode(n)) }
+func (m *HammerModel) Successors(key string, sb *mc.SuccBuf) {
+	sc := m.pool.Get().(*hscratch)
+	defer m.pool.Put(sc)
+	s := &sc.cur
+	m.decode(key, s)
 
 	// 1. Processor actions: issue requests, store silently, evict.
 	for p := 0; p < m.caches; p++ {
@@ -175,31 +287,31 @@ func (m *HammerModel) Successors(key string) []string {
 		if c.Out == 0 {
 			if c.St == 0 { // I: read or write request (even with a WB pending)
 				for _, kind := range []int{hmGetS, hmGetM} {
-					n := m.clone(s)
+					n := m.stage(sc)
 					if kind == hmGetS {
 						n.C[p].Out = 1
 					} else {
 						n.C[p].Out = 2
 					}
 					n.Msgs = append(n.Msgs, hmsg{Kind: kind, To: -1, P: p})
-					emit(n)
+					m.emit(sb, sc, n)
 				}
 			}
 			if c.St == 1 || c.St == 4 { // S or O: upgrade
-				n := m.clone(s)
+				n := m.stage(sc)
 				n.C[p].Out = 2
 				n.Msgs = append(n.Msgs, hmsg{Kind: hmGetM, To: -1, P: p})
-				emit(n)
+				m.emit(sb, sc, n)
 			}
 		}
 		if c.St == 2 || c.St == 3 { // E or M: silent store
-			n := m.clone(s)
+			n := m.stage(sc)
 			n.C[p].St = 3
 			m.store(n, p)
-			emit(n)
+			m.emit(sb, sc, n)
 		}
 		if (c.St == 3 || c.St == 4) && c.WB == wbNone { // M or O: evict
-			n := m.clone(s)
+			n := m.stage(sc)
 			if c.Cur {
 				n.C[p].WB = wbCurrent
 			} else {
@@ -208,20 +320,20 @@ func (m *HammerModel) Successors(key string) []string {
 			n.C[p].St = 0
 			n.C[p].Cur = false
 			n.Msgs = append(n.Msgs, hmsg{Kind: hmPut, To: -1, P: p})
-			emit(n)
+			m.emit(sb, sc, n)
 		}
 		if c.St == 1 || c.St == 2 { // S or E: silent clean drop
-			n := m.clone(s)
+			n := m.stage(sc)
 			n.C[p].St = 0
 			n.C[p].Cur = false
-			emit(n)
+			m.emit(sb, sc, n)
 		}
 	}
 
 	// 2. Message deliveries.
 	for k := range s.Msgs {
 		msg := s.Msgs[k]
-		n := m.clone(s)
+		n := m.stage(sc)
 		n.Msgs = append(n.Msgs[:k], n.Msgs[k+1:]...)
 		switch msg.Kind {
 		case hmGetS, hmGetM:
@@ -336,9 +448,8 @@ func (m *HammerModel) Successors(key string) []string {
 		case hmWbCancel:
 			n.BusyWB = -1
 		}
-		emit(n)
+		m.emit(sb, sc, n)
 	}
-	return out
 }
 
 // maybeComplete finishes p's transaction once every cache and the
@@ -386,9 +497,13 @@ func (m *HammerModel) maybeComplete(n *hstate, p int) {
 	n.Msgs = append(n.Msgs, hmsg{Kind: hmDone, To: -1, P: p})
 }
 
-// Check implements mc.Model.
+// Check implements mc.Model. It decodes into pooled scratch: the value-
+// preservation invariant needs the full cache and message view.
 func (m *HammerModel) Check(key string) error {
-	s, _ := m.decode.get(key)
+	sc := m.pool.Get().(*hscratch)
+	defer m.pool.Put(sc)
+	s := &sc.cur
+	m.decode(key, s)
 	owners := 0
 	for i, c := range s.C {
 		if c.St >= 2 {
@@ -445,15 +560,14 @@ func (m *HammerModel) Check(key string) error {
 
 // Quiescent implements mc.Model.
 func (m *HammerModel) Quiescent(key string) bool {
-	s, _ := m.decode.get(key)
-	return len(s.Msgs) == 0 && !m.Pending(key) && s.Busy == -1 && s.BusyWB == -1
+	t := key[m.offT:]
+	return key[m.offN] == 0 && !m.Pending(key) && t[1] == 0 && t[2] == 0 // busy == busyWB == -1
 }
 
 // Pending implements mc.Model.
 func (m *HammerModel) Pending(key string) bool {
-	s, _ := m.decode.get(key)
-	for _, c := range s.C {
-		if c.Out != 0 || c.WB != wbNone {
+	for i := 0; i < m.caches; i++ {
+		if key[3*i]&(3<<3|3<<5) != 0 { // out != 0 or wb != wbNone
 			return true
 		}
 	}

@@ -1,0 +1,225 @@
+package models
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"tokencmp/internal/mc"
+)
+
+// explore walks up to limit reachable states of m (serial BFS over the
+// packed keys) for use as property-test corpora.
+func explore(t *testing.T, m mc.Model, limit int) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	queue := m.Initial()
+	var sb mc.SuccBuf
+	var out []string
+	for len(queue) > 0 && len(out) < limit {
+		s := queue[0]
+		queue = queue[1:]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+		sb.Reset()
+		m.Successors(s, &sb)
+		for i := 0; i < sb.Len(); i++ {
+			queue = append(queue, string(sb.Key(i)))
+		}
+	}
+	if len(out) < 50 {
+		t.Fatalf("explored only %d states; corpus too small to be meaningful", len(out))
+	}
+	return out
+}
+
+// TestTokenRoundTrip asserts encode(decode(key)) == key over a reachable
+// corpus of every activation variant: the packed layout is injective
+// and decode loses no field.
+func TestTokenRoundTrip(t *testing.T) {
+	for _, act := range []Activation{SafetyOnly, ArbiterAct, DistributedAct} {
+		m := NewTokenModel(DefaultTokenConfig(act))
+		st := m.newState()
+		key := make([]byte, m.width)
+		for _, s := range explore(t, m, 3000) {
+			m.decode(s, &st)
+			m.encode(&st, key)
+			if string(key) != s {
+				t.Fatalf("%s: decode→encode changed the key\n in: %x\nout: %x", m.Name(), s, key)
+			}
+		}
+	}
+}
+
+// TestDirRoundTrip is the directory-model round-trip property.
+func TestDirRoundTrip(t *testing.T) {
+	m := DefaultDirModel()
+	st := m.newState()
+	key := make([]byte, m.width)
+	for _, s := range explore(t, m, 3000) {
+		m.decode(s, &st)
+		m.encode(&st, key)
+		if string(key) != s {
+			t.Fatalf("decode→encode changed the key\n in: %x\nout: %x", s, key)
+		}
+	}
+}
+
+// TestHammerRoundTrip is the hammer-model round-trip property.
+func TestHammerRoundTrip(t *testing.T) {
+	m := DefaultHammerModel()
+	st := m.newState()
+	key := make([]byte, m.width)
+	for _, s := range explore(t, m, 3000) {
+		m.decode(s, &st)
+		m.encode(&st, key)
+		if string(key) != s {
+			t.Fatalf("decode→encode changed the key\n in: %x\nout: %x", s, key)
+		}
+	}
+}
+
+// permutations of small index sets, for canonicalization tests.
+func permutations(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	for _, sub := range permutations(n - 1) {
+		for i := 0; i <= len(sub); i++ {
+			p := make([]int, 0, n)
+			p = append(p, sub[:i]...)
+			p = append(p, n-1)
+			p = append(p, sub[i:]...)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestTokenCanonicalOrder asserts the packed-byte message
+// canonicalization is permutation-invariant: every ordering of a
+// state's in-flight messages encodes to the same key, so states
+// differing only by message permutation still collapse — the property
+// the seed's fmt.Sprint sort.Slice provided, now via direct byte
+// comparison.
+func TestTokenCanonicalOrder(t *testing.T) {
+	m := NewTokenModel(DefaultTokenConfig(DistributedAct))
+	st := m.newState()
+	key := make([]byte, m.width)
+	checked := 0
+	for _, s := range explore(t, m, 3000) {
+		m.decode(s, &st)
+		if len(st.Msgs) < 2 {
+			continue
+		}
+		msgs := append([]tmsg{}, st.Msgs...)
+		for _, p := range permutations(len(msgs)) {
+			for i, j := range p {
+				st.Msgs[i] = msgs[j]
+			}
+			m.encode(&st, key)
+			if string(key) != s {
+				t.Fatalf("message permutation %v changed the key\n in: %x\nout: %x", p, s, key)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no multi-message states in the corpus")
+	}
+}
+
+// TestDirCanonicalOrder is the directory-model permutation-invariance
+// property.
+func TestDirCanonicalOrder(t *testing.T) {
+	m := DefaultDirModel()
+	st := m.newState()
+	key := make([]byte, m.width)
+	checked := 0
+	for _, s := range explore(t, m, 3000) {
+		m.decode(s, &st)
+		if len(st.Msgs) < 2 || len(st.Msgs) > 5 {
+			continue
+		}
+		msgs := append([]dmsg{}, st.Msgs...)
+		for _, p := range permutations(len(msgs)) {
+			for i, j := range p {
+				st.Msgs[i] = msgs[j]
+			}
+			m.encode(&st, key)
+			if string(key) != s {
+				t.Fatalf("message permutation %v changed the key\n in: %x\nout: %x", p, s, key)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no multi-message states in the corpus")
+	}
+}
+
+// TestHammerCanonicalOrder is the hammer-model permutation-invariance
+// property.
+func TestHammerCanonicalOrder(t *testing.T) {
+	m := NewHammerModel(2, 5)
+	st := m.newState()
+	key := make([]byte, m.width)
+	checked := 0
+	for _, s := range explore(t, m, 3000) {
+		m.decode(s, &st)
+		if len(st.Msgs) < 2 || len(st.Msgs) > 5 {
+			continue
+		}
+		msgs := append([]hmsg{}, st.Msgs...)
+		for _, p := range permutations(len(msgs)) {
+			for i, j := range p {
+				st.Msgs[i] = msgs[j]
+			}
+			m.encode(&st, key)
+			if string(key) != s {
+				t.Fatalf("message permutation %v changed the key\n in: %x\nout: %x", p, s, key)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no multi-message states in the corpus")
+	}
+}
+
+// TestSortSlots pins the slot sorter itself: ascending lexicographic
+// byte order, duplicates preserved, bytes outside the record area
+// untouched.
+func TestSortSlots(t *testing.T) {
+	b := []byte{9, 9, 3, 1, 3, 0, 9, 9, 0, 7, 0xAA}
+	// 5 two-byte records, one trailing guard byte.
+	sortSlots(b, 5, 2)
+	want := []byte{0, 7, 3, 0, 3, 1, 9, 9, 9, 9, 0xAA}
+	if !bytes.Equal(b, want) {
+		t.Fatalf("sortSlots = %v, want %v", b, want)
+	}
+}
+
+// TestDecodeMatchesStructs spot-checks a hand-built token state against
+// decode, so the bit assignments in the layout comments stay honest.
+func TestDecodeMatchesStructs(t *testing.T) {
+	m := NewTokenModel(DefaultTokenConfig(ArbiterAct))
+	s := &tstate{
+		Holders: []holder{{Tokens: 1, HasData: true, Current: true}, {}, {Tokens: 1}, {Tokens: 2, Owner: true, HasData: true, Current: true}},
+		Msgs:    []tmsg{{Tokens: 1, Dst: 2}},
+		Reqs:    []preq{{Valid: true, Write: true}, {}, {Valid: true}},
+		ArbQ:    []int{0, 2},
+	}
+	key := make([]byte, m.width)
+	m.encode(s, key)
+	got := m.newState()
+	m.decode(string(key), &got)
+	if !reflect.DeepEqual(got.Holders, s.Holders) || !reflect.DeepEqual(got.Msgs, s.Msgs) ||
+		!reflect.DeepEqual(got.Reqs, s.Reqs) || !reflect.DeepEqual(got.ArbQ, s.ArbQ) {
+		t.Fatalf("decode mismatch:\n got %+v\nwant %+v", got, *s)
+	}
+}

@@ -1,8 +1,8 @@
 // Package models contains the downscaled protocol models checked by
 // internal/mc, mirroring the paper's Section 5 TLA+ models: three
 // versions of the token-coherence correctness substrate (arbiter
-// activation, distributed activation, and safety-only) and a simplified
-// flat directory protocol.
+// activation, distributed activation, and safety-only), a simplified
+// flat directory protocol, and the HammerCMP broadcast race window.
 //
 // The token models drive the performance-policy interface
 // nondeterministically — any holder may spill any of its tokens toward
@@ -11,12 +11,16 @@
 // data-independence abstraction (Wolper): each copy carries a single
 // "current" bit; a store makes the writer's copy current, and the serial
 // view of memory holds iff every readable copy is current.
+//
+// States are fixed-width packed binary keys (see pack.go); each model
+// documents its layout next to its encode method.
 package models
 
 import (
 	"fmt"
-	"sort"
-	"strings"
+	"sync"
+
+	"tokencmp/internal/mc"
 )
 
 // Activation selects the starvation-avoidance mechanism modeled.
@@ -77,17 +81,61 @@ type tstate struct {
 	ArbQ    []int  // arbiter FIFO (processor indices); ArbQ[0] is active
 }
 
+// tscratch is one worker's reusable decode/encode workspace.
+type tscratch struct {
+	cur, next tstate
+	key       []byte
+}
+
 // TokenModel is the substrate transition system. Its methods are safe
 // for concurrent use, as required by the parallel checker in
-// internal/mc.
+// internal/mc: all mutable state lives in pooled per-call scratch.
 type TokenModel struct {
-	cfg    TokenConfig
-	decode *stateCache[*tstate]
+	cfg TokenConfig
+
+	// Packed layout (fixed width, offsets precomputed per config):
+	//
+	//	[0, offN)        holders: Caches+1 × 2 bytes [tokens][owner|hasData<<1|current<<2]
+	//	[offN]           in-flight message count
+	//	[offM, offR)     MaxMsgs × 3-byte slots [tokens][owner|hasData<<1|current<<2][dst],
+	//	                 byte-sorted, unused slots 0xFF
+	//	[offR, offQ)     Caches × 1 byte [valid|write<<1|marked<<2]
+	//	[offQ, width)    arbiter FIFO: processor indices, 0xFF padding
+	offN, offM, offR, offQ, width int
+
+	pool sync.Pool // *tscratch
 }
+
+const tmsgW = 3 // packed tmsg record width
 
 // NewTokenModel builds a model for cfg.
 func NewTokenModel(cfg TokenConfig) *TokenModel {
-	return &TokenModel{cfg: cfg, decode: newStateCache[*tstate]()}
+	if cfg.Caches < 1 || cfg.Caches > 254 || cfg.T < 1 || cfg.T > 254 || cfg.MaxMsgs < 1 || cfg.MaxMsgs > 254 {
+		panic(fmt.Sprintf("models: token config out of packed-encoding range: %+v", cfg))
+	}
+	m := &TokenModel{cfg: cfg}
+	m.offN = 2 * (cfg.Caches + 1)
+	m.offM = m.offN + 1
+	m.offR = m.offM + tmsgW*cfg.MaxMsgs
+	m.offQ = m.offR + cfg.Caches
+	m.width = m.offQ + cfg.Caches
+	m.pool.New = func() any {
+		return &tscratch{
+			cur:  m.newState(),
+			next: m.newState(),
+			key:  make([]byte, m.width),
+		}
+	}
+	return m
+}
+
+func (m *TokenModel) newState() tstate {
+	return tstate{
+		Holders: make([]holder, m.cfg.Caches+1),
+		Msgs:    make([]tmsg, 0, m.cfg.MaxMsgs+1),
+		Reqs:    make([]preq, m.cfg.Caches),
+		ArbQ:    make([]int, 0, m.cfg.Caches),
+	}
 }
 
 // Name implements mc.Model.
@@ -104,35 +152,79 @@ func (m *TokenModel) Name() string {
 
 func (m *TokenModel) mem() int { return m.cfg.Caches }
 
-func (m *TokenModel) encode(s *tstate) string {
-	// Canonicalize message order so states differing only by message
-	// permutation collapse.
-	msgs := append([]tmsg{}, s.Msgs...)
-	sort.Slice(msgs, func(i, j int) bool {
-		return fmt.Sprint(msgs[i]) < fmt.Sprint(msgs[j])
-	})
-	var b strings.Builder
-	fmt.Fprintf(&b, "H%v M%v R%v Q%v", s.Holders, msgs, s.Reqs, s.ArbQ)
-	key := b.String()
-	if _, ok := m.decode.get(key); !ok {
-		cp := &tstate{
-			Holders: append([]holder{}, s.Holders...),
-			Msgs:    msgs,
-			Reqs:    append([]preq{}, s.Reqs...),
-			ArbQ:    append([]int{}, s.ArbQ...),
-		}
-		m.decode.putIfAbsent(key, cp)
+// encode packs s into key (len m.width), canonicalizing message order
+// by direct byte comparison of the packed records.
+func (m *TokenModel) encode(s *tstate, key []byte) {
+	for i, h := range s.Holders {
+		key[2*i] = byte(h.Tokens)
+		key[2*i+1] = flag(h.Owner, 0) | flag(h.HasData, 1) | flag(h.Current, 2)
 	}
-	return key
+	key[m.offN] = byte(len(s.Msgs))
+	for k, msg := range s.Msgs {
+		off := m.offM + tmsgW*k
+		key[off] = byte(msg.Tokens)
+		key[off+1] = flag(msg.Owner, 0) | flag(msg.HasData, 1) | flag(msg.Current, 2)
+		key[off+2] = byte(msg.Dst)
+	}
+	sortSlots(key[m.offM:m.offR], len(s.Msgs), tmsgW)
+	padSlots(key[m.offM:m.offR], len(s.Msgs), m.cfg.MaxMsgs, tmsgW)
+	for p, r := range s.Reqs {
+		key[m.offR+p] = flag(r.Valid, 0) | flag(r.Write, 1) | flag(r.Marked, 2)
+	}
+	for q := 0; q < m.cfg.Caches; q++ {
+		if q < len(s.ArbQ) {
+			key[m.offQ+q] = byte(s.ArbQ[q])
+		} else {
+			key[m.offQ+q] = slotPad
+		}
+	}
 }
 
-func (m *TokenModel) clone(s *tstate) *tstate {
-	return &tstate{
-		Holders: append([]holder{}, s.Holders...),
-		Msgs:    append([]tmsg{}, s.Msgs...),
-		Reqs:    append([]preq{}, s.Reqs...),
-		ArbQ:    append([]int{}, s.ArbQ...),
+// decode unpacks key into s (whose slices are pre-sized scratch).
+func (m *TokenModel) decode(key string, s *tstate) {
+	s.Holders = s.Holders[:m.cfg.Caches+1]
+	for i := range s.Holders {
+		fl := key[2*i+1]
+		s.Holders[i] = holder{Tokens: int(key[2*i]), Owner: fl&1 != 0, HasData: fl&2 != 0, Current: fl&4 != 0}
 	}
+	s.Msgs = s.Msgs[:0]
+	for k := 0; k < int(key[m.offN]); k++ {
+		off := m.offM + tmsgW*k
+		fl := key[off+1]
+		s.Msgs = append(s.Msgs, tmsg{Tokens: int(key[off]), Owner: fl&1 != 0, HasData: fl&2 != 0, Current: fl&4 != 0, Dst: int(key[off+2])})
+	}
+	s.Reqs = s.Reqs[:m.cfg.Caches]
+	for p := range s.Reqs {
+		fl := key[m.offR+p]
+		s.Reqs[p] = preq{Valid: fl&1 != 0, Write: fl&2 != 0, Marked: fl&4 != 0}
+	}
+	s.ArbQ = s.ArbQ[:0]
+	for q := 0; q < m.cfg.Caches; q++ {
+		v := key[m.offQ+q]
+		if v == slotPad {
+			break
+		}
+		s.ArbQ = append(s.ArbQ, int(v))
+	}
+}
+
+// stage copies the decoded state into the scratch successor, which the
+// caller mutates and emits before the next stage call.
+func (m *TokenModel) stage(sc *tscratch) *tstate {
+	s, n := &sc.cur, &sc.next
+	n.Holders = n.Holders[:len(s.Holders)]
+	copy(n.Holders, s.Holders)
+	n.Msgs = append(n.Msgs[:0], s.Msgs...)
+	n.Reqs = n.Reqs[:len(s.Reqs)]
+	copy(n.Reqs, s.Reqs)
+	n.ArbQ = append(n.ArbQ[:0], s.ArbQ...)
+	return n
+}
+
+// emit packs the staged successor and hands it to the checker.
+func (m *TokenModel) emit(sb *mc.SuccBuf, sc *tscratch, n *tstate) {
+	m.encode(n, sc.key)
+	sb.Emit(sc.key)
 }
 
 // Initial implements mc.Model: all tokens at memory with current data.
@@ -142,7 +234,9 @@ func (m *TokenModel) Initial() []string {
 		Reqs:    make([]preq, m.cfg.Caches),
 	}
 	s.Holders[m.mem()] = holder{Tokens: m.cfg.T, Owner: true, HasData: true, Current: true}
-	return []string{m.encode(s)}
+	key := make([]byte, m.width)
+	m.encode(s, key)
+	return []string{string(key)}
 }
 
 // canRead reports read permission at holder i.
@@ -169,10 +263,11 @@ func (m *TokenModel) activeReq(s *tstate) (int, bool) {
 }
 
 // Successors implements mc.Model.
-func (m *TokenModel) Successors(key string) []string {
-	s, _ := m.decode.get(key)
-	var out []string
-	emit := func(n *tstate) { out = append(out, m.encode(n)) }
+func (m *TokenModel) Successors(key string, sb *mc.SuccBuf) {
+	sc := m.pool.Get().(*tscratch)
+	defer m.pool.Put(sc)
+	s := &sc.cur
+	m.decode(key, s)
 	T := m.cfg.T
 
 	// 1. Performance policy: any holder may send one token or all of its
@@ -187,13 +282,13 @@ func (m *TokenModel) Successors(key string) []string {
 				continue
 			}
 			// Send everything.
-			n := m.clone(s)
+			n := m.stage(sc)
 			n.Holders[i] = holder{}
 			n.Msgs = append(n.Msgs, tmsg{Tokens: h.Tokens, Owner: h.Owner, HasData: h.HasData, Current: h.Current, Dst: j})
-			emit(n)
+			m.emit(sb, sc, n)
 			// Send a single non-owner token without data.
 			if h.Tokens >= 2 || (h.Tokens == 1 && !h.Owner) {
-				n := m.clone(s)
+				n := m.stage(sc)
 				nh := h
 				nh.Tokens--
 				if nh.Tokens == 0 {
@@ -202,14 +297,14 @@ func (m *TokenModel) Successors(key string) []string {
 				}
 				n.Holders[i] = nh
 				n.Msgs = append(n.Msgs, tmsg{Tokens: 1, Dst: j})
-				emit(n)
+				m.emit(sb, sc, n)
 			}
 		}
 	}
 
 	// 2. Message delivery merges payload into the destination.
 	for k := range s.Msgs {
-		n := m.clone(s)
+		n := m.stage(sc)
 		msg := n.Msgs[k]
 		n.Msgs = append(n.Msgs[:k], n.Msgs[k+1:]...)
 		h := n.Holders[msg.Dst]
@@ -222,21 +317,21 @@ func (m *TokenModel) Successors(key string) []string {
 			h.Current = msg.Current
 		}
 		n.Holders[msg.Dst] = h
-		emit(n)
+		m.emit(sb, sc, n)
 	}
 
 	// 3. Processor stores: a cache with all T tokens may write, making
 	// its copy the (only) current one.
 	for p := 0; p < m.cfg.Caches; p++ {
 		if canWrite(s.Holders[p], T) {
-			n := m.clone(s)
+			n := m.stage(sc)
 			n.Holders[p].Current = true
-			emit(n)
+			m.emit(sb, sc, n)
 		}
 	}
 
 	if m.cfg.Activate == SafetyOnly {
-		return out
+		return
 	}
 
 	// 4. Persistent request issue (one per processor; the distributed
@@ -257,12 +352,12 @@ func (m *TokenModel) Successors(key string) []string {
 			}
 		}
 		for _, write := range []bool{false, true} {
-			n := m.clone(s)
+			n := m.stage(sc)
 			n.Reqs[p] = preq{Valid: true, Write: write}
 			if m.cfg.Activate == ArbiterAct {
 				n.ArbQ = append(n.ArbQ, p)
 			}
-			emit(n)
+			m.emit(sb, sc, n)
 		}
 	}
 
@@ -276,7 +371,7 @@ func (m *TokenModel) Successors(key string) []string {
 				continue
 			}
 			h := s.Holders[i]
-			n := m.clone(s)
+			n := m.stage(sc)
 			isMem := i == m.mem()
 			switch {
 			case req.Write || isMem:
@@ -304,7 +399,7 @@ func (m *TokenModel) Successors(key string) []string {
 			default:
 				continue
 			}
-			emit(n)
+			m.emit(sb, sc, n)
 		}
 	}
 
@@ -320,7 +415,7 @@ func (m *TokenModel) Successors(key string) []string {
 		if !satisfied {
 			continue
 		}
-		n := m.clone(s)
+		n := m.stage(sc)
 		if n.Reqs[p].Write {
 			n.Holders[p].Current = true // the store happens
 		}
@@ -335,42 +430,43 @@ func (m *TokenModel) Successors(key string) []string {
 			// Arbiter: remove from the queue (active or not).
 			for qi, qp := range n.ArbQ {
 				if qp == p {
-					n.ArbQ = append(n.ArbQ[:qi:qi], n.ArbQ[qi+1:]...)
+					n.ArbQ = append(n.ArbQ[:qi], n.ArbQ[qi+1:]...)
 					break
 				}
 			}
 		}
-		emit(n)
+		m.emit(sb, sc, n)
 	}
-
-	return out
 }
 
 // Check implements mc.Model: token conservation, one owner, the
-// coherence invariant, and the serial view of memory.
+// coherence invariant, and the serial view of memory. It reads the
+// packed key directly — no decode.
 func (m *TokenModel) Check(key string) error {
-	s, _ := m.decode.get(key)
 	tokens, owners, writers := 0, 0, 0
-	for i, h := range s.Holders {
-		tokens += h.Tokens
-		if h.Owner {
+	for i := 0; i <= m.cfg.Caches; i++ {
+		tk, fl := int(key[2*i]), key[2*i+1]
+		hasData := fl&2 != 0
+		tokens += tk
+		if fl&1 != 0 { // owner
 			owners++
-			if !h.HasData {
+			if !hasData {
 				return fmt.Errorf("holder %d has the owner token without data", i)
 			}
 		}
-		if h.Tokens == m.cfg.T {
+		if tk == m.cfg.T {
 			writers++
 		}
-		if canRead(h) && !h.Current {
+		if tk >= 1 && hasData && fl&4 == 0 { // readable but not current
 			return fmt.Errorf("holder %d readable with stale data (serial view violated)", i)
 		}
 	}
-	for _, msg := range s.Msgs {
-		tokens += msg.Tokens
-		if msg.Owner {
+	for k := 0; k < int(key[m.offN]); k++ {
+		off := m.offM + tmsgW*k
+		tokens += int(key[off])
+		if key[off+1]&1 != 0 { // owner token in flight
 			owners++
-			if !msg.HasData {
+			if key[off+1]&2 == 0 {
 				return fmt.Errorf("in-flight owner token without data")
 			}
 		}
@@ -392,15 +488,13 @@ func (m *TokenModel) Check(key string) error {
 // delivery transitions prevent; treat all states as quiescent-capable
 // only when no messages and no requests are outstanding.
 func (m *TokenModel) Quiescent(key string) bool {
-	s, _ := m.decode.get(key)
-	return len(s.Msgs) == 0 && !m.Pending(key)
+	return key[m.offN] == 0 && !m.Pending(key)
 }
 
 // Pending implements mc.Model.
 func (m *TokenModel) Pending(key string) bool {
-	s, _ := m.decode.get(key)
-	for _, r := range s.Reqs {
-		if r.Valid {
+	for p := 0; p < m.cfg.Caches; p++ {
+		if key[m.offR+p]&1 != 0 {
 			return true
 		}
 	}

@@ -6,53 +6,55 @@ import (
 )
 
 // Sample accumulates scalar observations (e.g. runtimes from perturbed
-// runs) and reports mean and 95% confidence half-interval.
+// runs) and reports mean and 95% confidence half-interval. It streams:
+// Welford's algorithm keeps the running mean and the sum of squared
+// deviations, so a sample costs three float64 words regardless of how
+// many observations it has seen — nothing retains the observations.
+// (The running sum is kept alongside so Mean stays bit-identical to
+// the retained-slice implementation it replaced.)
 type Sample struct {
-	xs []float64
+	n    int
+	sum  float64
+	mean float64 // Welford running mean
+	m2   float64 // sum of squared deviations from the running mean
 }
 
-// Add appends an observation.
-func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+// Add folds in an observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	s.sum += x
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
 
 // N reports the number of observations.
-func (s *Sample) N() int { return len(s.xs) }
+func (s *Sample) N() int { return s.n }
 
 // Mean reports the arithmetic mean (0 for an empty sample).
 func (s *Sample) Mean() float64 {
-	if len(s.xs) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, x := range s.xs {
-		sum += x
-	}
-	return sum / float64(len(s.xs))
+	return s.sum / float64(s.n)
 }
 
 // StdDev reports the sample standard deviation (0 for fewer than two
 // observations).
 func (s *Sample) StdDev() float64 {
-	n := len(s.xs)
-	if n < 2 {
+	if s.n < 2 {
 		return 0
 	}
-	m := s.Mean()
-	var ss float64
-	for _, x := range s.xs {
-		d := x - m
-		ss += d * d
-	}
-	return math.Sqrt(ss / float64(n-1))
+	return math.Sqrt(s.m2 / float64(s.n-1))
 }
 
 // CI95 reports the 95% confidence half-interval of the mean, using the
 // normal approximation with small-sample t multipliers for n <= 30.
 func (s *Sample) CI95() float64 {
-	n := len(s.xs)
-	if n < 2 {
+	if s.n < 2 {
 		return 0
 	}
-	return tMultiplier(n-1) * s.StdDev() / math.Sqrt(float64(n))
+	return tMultiplier(s.n-1) * s.StdDev() / math.Sqrt(float64(s.n))
 }
 
 // tMultiplier approximates the two-sided 95% Student-t critical value for

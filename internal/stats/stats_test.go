@@ -110,3 +110,39 @@ func TestTrafficClassNames(t *testing.T) {
 		t.Error("level names wrong")
 	}
 }
+
+// Property: the streaming Welford accumulator agrees with a two-pass
+// reference computation over the retained observations.
+func TestPropertyWelfordMatchesTwoPass(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		kept := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			x = math.Mod(x, 1e9)
+			s.Add(x)
+			kept = append(kept, x)
+		}
+		if len(kept) < 2 {
+			return s.StdDev() == 0
+		}
+		var sum float64
+		for _, x := range kept {
+			sum += x
+		}
+		mean := sum / float64(len(kept))
+		var ss float64
+		for _, x := range kept {
+			d := x - mean
+			ss += d * d
+		}
+		ref := math.Sqrt(ss / float64(len(kept)-1))
+		scale := ref + math.Abs(mean) + 1
+		return math.Abs(s.Mean()-mean) <= 1e-9*scale && math.Abs(s.StdDev()-ref) <= 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -59,7 +59,16 @@ type L1Ctrl struct {
 	pred  *predictor
 	rng   *rand.Rand
 
+	pend cpu.PendingAccess // access parked across the tag-access delay
+
 	Stats L1Stats
+}
+
+// l1AttemptCall is the closure-free ScheduleCall target for the
+// tag-access delay.
+func l1AttemptCall(ctx, _ any) {
+	c := ctx.(*L1Ctrl)
+	c.attempt(c.pend.Take())
 }
 
 func newL1(sys *System, id topo.NodeID, cmp, proc int, instr bool) *L1Ctrl {
@@ -118,7 +127,8 @@ func (c *L1Ctrl) Access(kind cpu.AccessKind, addr mem.Addr, store uint64, done f
 		panic(fmt.Sprintf("tokencmp: L1 %v already has outstanding transaction for %v", c.id, b))
 	}
 	// Tag access latency, then hit check / miss handling.
-	c.sys.Eng.Schedule(c.sys.Cfg.L1Latency, func() { c.attempt(kind, b, store, done) })
+	c.pend.Park("tokencmp: L1", kind, b, store, done)
+	c.sys.Eng.ScheduleCall(c.sys.Cfg.L1Latency, l1AttemptCall, c, nil)
 }
 
 func sufficient(s *token.State, kind cpu.AccessKind, t int) bool {
