@@ -160,23 +160,35 @@ func benchTraffic(b *testing.B, level stats.Level, tag string) {
 // comparison (reachable-state counts) and reports checker throughput:
 // states/sec directly bounds how big a configuration Section 5 can
 // verify, so BENCH_ci.json tracks it alongside the allocation series.
+// The checks run with symmetry reduction, as cmd/modelcheck does by
+// default: the *-states metrics count canonical representatives, the
+// *-full metrics their orbit expansions (the unreduced reachable
+// counts), and reduction-x the overall orbit-reduction factor. The
+// hammer model runs at its true 3-cache default — 233k unreduced
+// states, which only the reduction makes bench-cheap.
 func BenchmarkSec5ModelCheck(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		opt := mc.Options{Jobs: runner.DefaultJobs(), Symmetry: true}
 		cfg := models.DefaultTokenConfig(models.SafetyOnly)
-		safety := mc.CheckJobs(models.NewTokenModel(cfg), 0, runner.DefaultJobs())
-		dir := mc.CheckJobs(models.DefaultDirModel(), 0, runner.DefaultJobs())
-		hammer := mc.CheckJobs(models.NewHammerModel(2, 5), 0, runner.DefaultJobs())
+		safety := mc.CheckOpt(models.NewTokenModel(cfg), opt)
+		dir := mc.CheckOpt(models.DefaultDirModel(), opt)
+		hammer := mc.CheckOpt(models.DefaultHammerModel(), opt)
 		if !safety.OK() || !dir.OK() || !hammer.OK() {
 			b.Fatal("model checking failed")
 		}
 		if i == 0 {
 			states := safety.States + dir.States + hammer.States
+			full := safety.FullStates + dir.FullStates + hammer.FullStates
 			elapsed := safety.Elapsed + dir.Elapsed + hammer.Elapsed
 			b.ReportMetric(float64(states)/elapsed.Seconds(), "states/sec")
+			b.ReportMetric(float64(full)/float64(states), "reduction-x")
 			b.ReportMetric(float64(safety.States), "safety-states")
+			b.ReportMetric(float64(safety.FullStates), "safety-full")
 			b.ReportMetric(float64(dir.States), "dir-states")
+			b.ReportMetric(float64(dir.FullStates), "dir-full")
 			b.ReportMetric(float64(hammer.States), "hammer-states")
+			b.ReportMetric(float64(hammer.FullStates), "hammer-full")
 		}
 	}
 }

@@ -1,11 +1,19 @@
 // benchjson converts `go test -bench` output into a JSON benchmark
 // artifact (for CI upload and perf-trajectory tracking) and prints a
-// human-readable runtime summary table.
+// human-readable runtime summary table. Its compare mode diffs two
+// such artifacts and gates CI on perf regressions.
 //
 // Usage:
 //
 //	go test -bench . -benchtime 1x -run '^$' . | tee bench.txt
 //	benchjson -in bench.txt -out BENCH_ci.json
+//	benchjson compare BENCH_ci.json BENCH_new.json   # exit 1 on regression
+//
+// Compare prints per-metric deltas for every benchmark the two
+// artifacts share and exits non-zero when wall clock (ns/op) worsens
+// or checker throughput (states/sec) drops by more than -tolerance
+// percent — the two series that gate the perf trajectory; the other
+// metrics are informational.
 package main
 
 import (
@@ -143,12 +151,145 @@ func summarize(w io.Writer, rep *Report) {
 	}
 }
 
+// loadReport reads a BENCH_ci.json artifact.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %v", path, err)
+	}
+	return rep, nil
+}
+
+// delta is one compared metric.
+type delta struct {
+	bench, metric string
+	old, new      float64
+	pct           float64 // percentage change, new vs old
+	regression    bool
+}
+
+// gatedMetrics are the series whose regressions (and disappearance)
+// fail the compare gate; everything else is informational.
+var gatedMetrics = []string{"ns/op", "states/sec"}
+
+// compareReports diffs two artifacts benchmark-by-benchmark. A metric
+// is a regression when it is ns/op and grew, or states/sec and shrank,
+// by more than tolerance percent. Benchmarks present in the baseline
+// but absent from the new artifact — and gated metrics a shared
+// benchmark stopped reporting — are listed in dropped and must fail
+// the gate too, otherwise deleting (or renaming) a gated benchmark or
+// its ReportMetric call would silently bypass it. Benchmarks new to
+// the artifact are informational.
+func compareReports(oldRep, newRep *Report, tolerance float64) (deltas []delta, added, dropped []string) {
+	byName := map[string]*Benchmark{}
+	for i := range oldRep.Benchmarks {
+		byName[oldRep.Benchmarks[i].Name] = &oldRep.Benchmarks[i]
+	}
+	for i := range newRep.Benchmarks {
+		nb := &newRep.Benchmarks[i]
+		ob := byName[nb.Name]
+		if ob == nil {
+			added = append(added, nb.Name)
+			continue
+		}
+		delete(byName, nb.Name)
+		for _, k := range gatedMetrics {
+			_, inOld := ob.Metrics[k]
+			_, inNew := nb.Metrics[k]
+			if inOld && !inNew {
+				dropped = append(dropped, nb.Name+" "+k)
+			}
+		}
+		keys := make([]string, 0, len(nb.Metrics))
+		for k := range nb.Metrics {
+			if _, shared := ob.Metrics[k]; shared {
+				keys = append(keys, k)
+			}
+		}
+		// Wall clock first, then the rest alphabetically.
+		sort.Slice(keys, func(i, j int) bool {
+			if (keys[i] == "ns/op") != (keys[j] == "ns/op") {
+				return keys[i] == "ns/op"
+			}
+			return keys[i] < keys[j]
+		})
+		for _, k := range keys {
+			d := delta{bench: nb.Name, metric: k, old: ob.Metrics[k], new: nb.Metrics[k]}
+			if d.old != 0 {
+				d.pct = (d.new - d.old) / d.old * 100
+			}
+			switch k {
+			case "ns/op":
+				d.regression = d.pct > tolerance
+			case "states/sec":
+				d.regression = d.pct < -tolerance
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	for name := range byName {
+		dropped = append(dropped, name)
+	}
+	sort.Strings(added)
+	sort.Strings(dropped)
+	return deltas, added, dropped
+}
+
+func compareMain(oldPath, newPath string, tolerance float64) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	deltas, added, dropped := compareReports(oldRep, newRep, tolerance)
+	fmt.Printf("%-40s %-24s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	regressions := 0
+	for _, d := range deltas {
+		mark := ""
+		if d.regression {
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-40s %-24s %14.3f %14.3f %+8.1f%%%s\n", d.bench, d.metric, d.old, d.new, d.pct, mark)
+	}
+	for _, name := range added {
+		fmt.Printf("%-40s new, not compared\n", name)
+	}
+	for _, name := range dropped {
+		fmt.Printf("%-40s MISSING from the new artifact\n", name)
+	}
+	if regressions > 0 || len(dropped) > 0 {
+		fmt.Printf("\n%d regression(s) beyond %.0f%% (ns/op up or states/sec down), %d benchmark(s) missing\n",
+			regressions, tolerance, len(dropped))
+		os.Exit(1)
+	}
+	fmt.Printf("\nno regressions beyond %.0f%% (%d metrics compared)\n", tolerance, len(deltas))
+}
+
 func main() {
 	var (
-		in  = flag.String("in", "-", "bench output file (- = stdin)")
-		out = flag.String("out", "BENCH_ci.json", "JSON artifact path")
+		in        = flag.String("in", "-", "bench output file (- = stdin)")
+		out       = flag.String("out", "BENCH_ci.json", "JSON artifact path")
+		tolerance = flag.Float64("tolerance", 10, "compare mode: regression threshold in percent")
 	)
 	flag.Parse()
+	if flag.Arg(0) == "compare" {
+		if flag.NArg() != 3 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson [-tolerance pct] compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		compareMain(flag.Arg(1), flag.Arg(2), *tolerance)
+		return
+	}
 
 	var src io.Reader = os.Stdin
 	if *in != "-" {

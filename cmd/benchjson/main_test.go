@@ -65,6 +65,81 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// mkReport builds a one-benchmark report for compare tests.
+func mkReport(name string, metrics map[string]float64) *Report {
+	b := Benchmark{Name: name, Iterations: 1, Metrics: metrics}
+	return &Report{Benchmarks: []Benchmark{b}}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldRep := &Report{Benchmarks: []Benchmark{
+		{Name: "Sec5ModelCheck", Metrics: map[string]float64{"ns/op": 100, "states/sec": 1000, "safety-states": 243}},
+		{Name: "Table4Barrier", Metrics: map[string]float64{"ns/op": 200}},
+		{Name: "Dropped", Metrics: map[string]float64{"ns/op": 5}},
+	}}
+	newRep := &Report{Benchmarks: []Benchmark{
+		{Name: "Sec5ModelCheck", Metrics: map[string]float64{"ns/op": 105, "states/sec": 500, "safety-states": 243}},
+		{Name: "Table4Barrier", Metrics: map[string]float64{"ns/op": 250}},
+		{Name: "Added", Metrics: map[string]float64{"ns/op": 7}},
+	}}
+	deltas, added, dropped := compareReports(oldRep, newRep, 10)
+	got := map[string]bool{}
+	for _, d := range deltas {
+		got[d.bench+" "+d.metric] = d.regression
+	}
+	// ns/op +5% is within tolerance; states/sec -50% and ns/op +25% are not.
+	for key, want := range map[string]bool{
+		"Sec5ModelCheck ns/op":         false,
+		"Sec5ModelCheck states/sec":    true,
+		"Sec5ModelCheck safety-states": false, // informational metric never gates
+		"Table4Barrier ns/op":          true,
+	} {
+		if reg, ok := got[key]; !ok || reg != want {
+			t.Errorf("%s: regression=%v (present=%v), want %v", key, reg, ok, want)
+		}
+	}
+	// A benchmark that vanished from the new artifact must be reported
+	// as dropped (the caller fails the gate on it — deleting a gated
+	// benchmark must not bypass the gate); new benchmarks are
+	// informational.
+	if len(added) != 1 || added[0] != "Added" {
+		t.Errorf("added = %v, want [Added]", added)
+	}
+	if len(dropped) != 1 || dropped[0] != "Dropped" {
+		t.Errorf("dropped = %v, want [Dropped]", dropped)
+	}
+}
+
+// TestCompareFlagsDroppedGatedMetric pins the metric-level gate: a
+// shared benchmark that stops reporting a gated series (ns/op,
+// states/sec) must show up as dropped, or deleting the ReportMetric
+// call would silently bypass the throughput gate.
+func TestCompareFlagsDroppedGatedMetric(t *testing.T) {
+	oldRep := mkReport("Sec5ModelCheck", map[string]float64{"ns/op": 100, "states/sec": 1000, "safety-states": 243})
+	newRep := mkReport("Sec5ModelCheck", map[string]float64{"ns/op": 100})
+	deltas, _, dropped := compareReports(oldRep, newRep, 10)
+	if len(dropped) != 1 || dropped[0] != "Sec5ModelCheck states/sec" {
+		t.Errorf("dropped = %v, want [Sec5ModelCheck states/sec] (informational safety-states must not gate)", dropped)
+	}
+	if len(deltas) != 1 || deltas[0].metric != "ns/op" {
+		t.Errorf("deltas = %+v, want just the shared ns/op", deltas)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	oldRep := mkReport("Sec5ModelCheck", map[string]float64{"ns/op": 100, "states/sec": 1000})
+	newRep := mkReport("Sec5ModelCheck", map[string]float64{"ns/op": 50, "states/sec": 3000})
+	deltas, _, _ := compareReports(oldRep, newRep, 10)
+	for _, d := range deltas {
+		if d.regression {
+			t.Errorf("%s %s flagged as regression on improvement (%+.1f%%)", d.bench, d.metric, d.pct)
+		}
+	}
+	if len(deltas) != 2 {
+		t.Errorf("compared %d metrics, want 2", len(deltas))
+	}
+}
+
 func TestSummarizeRuns(t *testing.T) {
 	rep, err := parse(strings.NewReader(sample))
 	if err != nil {

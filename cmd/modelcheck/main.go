@@ -41,6 +41,7 @@ func main() {
 		msgs     = flag.Int("msgs", 0, "in-flight message bound (0 = per-model default: 2 token, 3 directory, 5 hammer)")
 		limit    = flag.Int("limit", 0, "exact state-count cap (0 = the 5,000,000 default)")
 		jobs     = flag.Int("jobs", 0, "concurrent frontier-expansion workers (0 = one per CPU)")
+		symmetry = flag.Bool("symmetry", true, "canonicalize states under cache permutation (Ip&Dill scalarset-style reduction, up to caches! fewer states)")
 		protocol = flag.String("protocol", "all", "which models to check: all, token, directory, or hammer")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -94,16 +95,33 @@ func main() {
 	fmt.Println(" liveness: deadlock freedom and AG(pending → EF satisfied))")
 	fmt.Printf("configuration: caches=%d tokens=%d msgs=", *caches, *tokens)
 	if *msgs == 0 {
-		fmt.Println("default")
+		fmt.Print("default")
 	} else {
-		fmt.Println(*msgs)
+		fmt.Print(*msgs)
+	}
+	if *symmetry {
+		fmt.Println(" symmetry=on")
+	} else {
+		fmt.Println(" symmetry=off")
 	}
 	fmt.Println()
 
 	failed := false
 	run := func(m mc.Model) {
-		res := mc.CheckJobs(m, *limit, *jobs)
-		fmt.Printf("%s (%.0f states/sec)\n", res, res.StatesPerSec())
+		res := mc.CheckOpt(m, mc.Options{Limit: *limit, Jobs: *jobs, Symmetry: *symmetry})
+		note := ""
+		if *symmetry && !res.Symmetry {
+			// Requested but not applied: either the model declared no
+			// symmetry (the distributed-activation model's fixed-priority
+			// arbitration is not permutation-invariant) or the cache count
+			// is beyond the reduction range.
+			if sm, ok := m.(mc.Symmetric); ok && sm.Symmetry() != nil {
+				note = fmt.Sprintf(", unreduced: caches > %d", mc.MaxSymmetryCaches)
+			} else {
+				note = ", unreduced: model not symmetric"
+			}
+		}
+		fmt.Printf("%s (%.0f states/sec%s)\n", res, res.StatesPerSec(), note)
 		if !res.OK() {
 			failed = true
 		}

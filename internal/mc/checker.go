@@ -23,6 +23,11 @@
 // allocation-free: workers expand frontiers into reusable SuccBufs,
 // keys are hashed and deduplicated as raw byte views, and only the
 // first discovery of a state materializes an interned string.
+//
+// Models whose caches are fully interchangeable additionally declare
+// their layout's symmetry (see symmetry.go); with Options.Symmetry the
+// checker then explores one canonical representative per cache-
+// permutation orbit, shrinking the state space by up to Caches!.
 package mc
 
 import (
@@ -30,6 +35,7 @@ import (
 	"fmt"
 	"hash/maphash"
 	"slices"
+	"sync"
 	"time"
 
 	"tokencmp/internal/runner"
@@ -57,13 +63,46 @@ type Model interface {
 	Satisfying(s string) bool
 }
 
-// Result summarizes one model-checking run.
+// Symmetric is implemented by models whose packed layout declares its
+// cache symmetry (see Symmetry in symmetry.go). Symmetry may return
+// nil when the model's rules are not permutation-invariant — such a
+// model is always explored unreduced. The predicate methods (Check,
+// Pending, Satisfying, Quiescent) of a Symmetric model must themselves
+// be permutation-invariant, since with reduction on they are evaluated
+// on orbit representatives only.
+type Symmetric interface {
+	Symmetry() *Symmetry
+}
+
+// Options configures a checking run.
+type Options struct {
+	// Limit is the exact state-count cap (0 = 5,000,000). With
+	// symmetry reduction it caps canonical representatives.
+	Limit int
+	// Jobs is the worker count (<= 0 selects runner.DefaultJobs()).
+	Jobs int
+	// Symmetry canonicalizes every state under cache permutation
+	// before deduplication, exploring one representative per orbit.
+	// It takes effect only for models that implement Symmetric with a
+	// non-nil descriptor and Caches <= MaxSymmetryCaches; Result.
+	// Symmetry reports whether the reduction was actually applied.
+	Symmetry bool
+}
+
+// Result summarizes one model-checking run. With symmetry reduction
+// applied (Symmetry true), States, Transitions, and Diameter describe
+// the quotient graph — canonical representatives, edges between them,
+// and BFS depth over orbits — while FullStates is the orbit-expanded
+// state count, exactly equal to the States an unreduced run reports.
 type Result struct {
 	Model       string
 	States      int
 	Transitions int
 	Diameter    int
 	Elapsed     time.Duration
+
+	Symmetry   bool // whether cache-permutation reduction was applied
+	FullStates int  // orbit-expanded state count (== States unreduced)
 
 	Violation  error  // first safety violation, if any
 	BadState   string // the violating state
@@ -76,12 +115,22 @@ func (r *Result) OK() bool {
 	return r.Violation == nil && r.Deadlock == "" && r.Starvation == ""
 }
 
-// StatesPerSec reports exploration throughput.
+// StatesPerSec reports exploration throughput (explored states, i.e.
+// canonical representatives when symmetry reduction is on).
 func (r *Result) StatesPerSec() float64 {
 	if r.Elapsed <= 0 {
 		return 0
 	}
 	return float64(r.States) / r.Elapsed.Seconds()
+}
+
+// ReductionX reports the orbit-reduction factor FullStates/States
+// (1 when no reduction was applied).
+func (r *Result) ReductionX() float64 {
+	if r.States == 0 {
+		return 1
+	}
+	return float64(r.FullStates) / float64(r.States)
 }
 
 func (r *Result) String() string {
@@ -98,13 +147,24 @@ func (r *Result) String() string {
 		status = "FAIL"
 		detail = " starvation"
 	}
-	return fmt.Sprintf("%-28s %s states=%d transitions=%d diameter=%d elapsed=%v%s",
-		r.Model, status, r.States, r.Transitions, r.Diameter, r.Elapsed, detail)
+	states := fmt.Sprintf("states=%d", r.States)
+	if r.Symmetry {
+		states = fmt.Sprintf("states=%d full=%d (%.1fx)", r.States, r.FullStates, r.ReductionX())
+	}
+	return fmt.Sprintf("%-28s %s %s transitions=%d diameter=%d elapsed=%v%s",
+		r.Model, status, states, r.Transitions, r.Diameter, r.Elapsed, detail)
 }
 
 // Check exhaustively explores model up to limit states (0 = 5,000,000)
-// with one worker per CPU. Equivalent to CheckJobs(m, limit, 0).
+// with one worker per CPU and no symmetry reduction. Equivalent to
+// CheckJobs(m, limit, 0).
 func Check(m Model, limit int) *Result { return CheckJobs(m, limit, 0) }
+
+// CheckJobs is Check with an explicit worker count (jobs <= 0 selects
+// runner.DefaultJobs()).
+func CheckJobs(m Model, limit, jobs int) *Result {
+	return CheckOpt(m, Options{Limit: limit, Jobs: jobs})
+}
 
 // expansion is one frontier state's parallel-computed outputs. The
 // successor keys live in the worker-filled SuccBuf and their hashes are
@@ -117,6 +177,7 @@ func Check(m Model, limit int) *Result { return CheckJobs(m, limit, 0) }
 type expansion struct {
 	sb       SuccBuf
 	hashes   []uint64
+	orbits   []int32 // orbit size per successor (symmetry runs only)
 	mult     []int32
 	err      error // safety violation, if any
 	deadlock bool
@@ -184,8 +245,7 @@ func (t *stateTable) grow() {
 	}
 }
 
-// CheckJobs is Check with an explicit worker count (jobs <= 0 selects
-// runner.DefaultJobs()).
+// CheckOpt explores m under opt.
 //
 // The exploration is level-synchronous BFS: all states at the current
 // depth are expanded concurrently (Successors and the safety Check are
@@ -193,17 +253,52 @@ func (t *stateTable) grow() {
 // frontier order. Discovery order, state indices, and every Result
 // field except Elapsed are therefore identical for any jobs value.
 //
+// With opt.Symmetry and a model that declares its cache symmetry,
+// every emitted successor key is canonicalized in place (in the
+// worker, before hashing) to the lexicographically minimal key over
+// all cache permutations, so the BFS explores the quotient graph: one
+// representative per orbit. The orbit sizes are summed into
+// FullStates, which exactly reproduces the unreduced state count.
+// Canonicalization is sound here because a Symmetric model's
+// transition relation and predicates commute with permutation: the
+// successors of a representative cover its whole orbit's successors up
+// to renaming, safety violations and deadlocks are permutation-
+// invariant, and backward reachability over the quotient graph decides
+// AG(pending → EF satisfied) exactly as over the full graph.
+//
 // The state cap is exact: at most limit states are recorded, and edges
 // to states dropped by the cap are not counted as transitions, so the
 // reported (States, Transitions) pair always describes a consistent
 // explored subgraph.
-func CheckJobs(m Model, limit, jobs int) *Result {
+func CheckOpt(m Model, opt Options) *Result {
+	limit := opt.Limit
 	if limit <= 0 {
 		limit = 5_000_000
 	}
-	pool := runner.New(jobs)
+	pool := runner.New(opt.Jobs)
 	start := time.Now()
 	res := &Result{Model: m.Name()}
+
+	var sym *Symmetry
+	if opt.Symmetry {
+		if sm, ok := m.(Symmetric); ok {
+			sym = sm.Symmetry()
+		}
+	}
+	init := m.Initial()
+	var canonPool *sync.Pool
+	if sym != nil && len(init) > 0 {
+		width := len(init[0])
+		if c := sym.NewCanonicalizer(width); c != nil {
+			res.Symmetry = true
+			canonPool = &sync.Pool{New: func() any { return sym.NewCanonicalizer(width) }}
+			canonPool.Put(c)
+		} else {
+			sym = nil
+		}
+	} else {
+		sym = nil
+	}
 
 	seed := maphash.MakeSeed()
 	table := newStateTable()
@@ -217,13 +312,13 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 
 	// push records a newly discovered state (with its precomputed hash)
 	// unless the cap has been reached, returning its index (-1 if
-	// dropped). The key bytes are interned (copied into an owned
-	// string) only on first discovery.
-	push := func(b []byte, h uint64, depth int32) int {
+	// dropped) and whether it was new. The key bytes are interned
+	// (copied into an owned string) only on first discovery.
+	push := func(b []byte, h uint64, depth int32) (int, bool) {
 		if idx, slot := table.lookup(h, b, states); idx >= 0 {
-			return int(idx)
+			return int(idx), false
 		} else if len(states) >= limit {
-			return -1
+			return -1, false
 		} else {
 			table.insert(slot, h, int32(len(states)))
 		}
@@ -233,11 +328,19 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 		if int(depth) > res.Diameter {
 			res.Diameter = int(depth)
 		}
-		return idx
+		return idx, true
 	}
-	for _, s := range m.Initial() {
+	for _, s := range init {
 		b := []byte(s)
-		push(b, maphash.Bytes(seed, b), 0)
+		orbit := 1
+		if sym != nil {
+			c := canonPool.Get().(*Canonicalizer)
+			orbit = c.Canonicalize(b)
+			canonPool.Put(c)
+		}
+		if _, isNew := push(b, maphash.Bytes(seed, b), 0); isNew {
+			res.FullStates += orbit
+		}
 	}
 
 	// BFS appends discoveries to states in level order, so the slice
@@ -266,6 +369,18 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 			clear(e.mult) // the fold below needs a zeroed multiplicity map
 			e.err = m.Check(s)
 			e.deadlock = n == 0 && !m.Quiescent(s)
+			if sym != nil {
+				// Canonicalize before hashing and deduplication, so two
+				// successors in the same orbit fold like any other
+				// duplicate and the state table only ever sees
+				// representatives. Key views are rewritten in place.
+				e.orbits = slices.Grow(e.orbits[:0], n)[:n]
+				c := canonPool.Get().(*Canonicalizer)
+				for j := 0; j < n; j++ {
+					e.orbits[j] = int32(c.Canonicalize(e.sb.Key(j)))
+				}
+				canonPool.Put(c)
+			}
 			for j := 0; j < n; j++ {
 				e.hashes[j] = maphash.Bytes(seed, e.sb.Key(j))
 			}
@@ -314,9 +429,12 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 				if k < 0 {
 					continue // duplicate folded into an earlier occurrence
 				}
-				ti := push(e.sb.Key(j), e.hashes[j], depth)
+				ti, isNew := push(e.sb.Key(j), e.hashes[j], depth)
 				if ti < 0 {
 					continue // dropped by the exact state cap
+				}
+				if isNew && sym != nil {
+					res.FullStates += int(e.orbits[j])
 				}
 				res.Transitions += int(k)
 				edgeFrom = append(edgeFrom, int32(lo+i))
@@ -326,6 +444,9 @@ func CheckJobs(m Model, limit, jobs int) *Result {
 		lo = hi
 	}
 	res.States = len(states)
+	if sym == nil {
+		res.FullStates = res.States
+	}
 
 	// Starvation check: backward reachability from satisfying states
 	// over a CSR predecessor adjacency (offsets + one flat edge array)

@@ -31,6 +31,10 @@ type DirModel struct {
 	offN, offM, offD, width int
 	slots                   int
 
+	// sym describes the layout's cache symmetry for the checker's
+	// canonicalization.
+	sym *mc.Symmetry
+
 	pool sync.Pool // *dscratch
 }
 
@@ -102,6 +106,24 @@ func NewDirModel(caches, maxMsgs int) *DirModel {
 	m.offM = m.offN + 1
 	m.offD = m.offM + dmsgW*m.slots
 	m.width = m.offD + 8
+	// Cache symmetry: the cache records are one per-cache group; message
+	// records carry a +1-encoded destination (0 names the directory) and
+	// a plain requester index; the directory trailer holds +1-encoded
+	// owner/busy/busyOwn references and the sharers bitmask.
+	m.sym = &mc.Symmetry{
+		Caches: caches,
+		Groups: []mc.Group{{Off: 0, Stride: 2}},
+		Refs: []mc.Ref{
+			{Off: m.offD + 0, Enc: mc.RefPlus1}, // owner
+			{Off: m.offD + 6, Enc: mc.RefPlus1}, // busy
+			{Off: m.offD + 7, Enc: mc.RefPlus1}, // busyOwn
+		},
+		Masks: []int{m.offD + 1}, // sharers
+		Slots: []mc.SlotRegion{{
+			CountOff: m.offN, Off: m.offM, W: dmsgW,
+			Refs: []mc.Ref{{Off: 1, Enc: mc.RefPlus1}, {Off: 2, Enc: mc.RefPlain}},
+		}},
+	}
 	m.pool.New = func() any {
 		return &dscratch{
 			cur:  m.newState(),
@@ -125,6 +147,11 @@ func DefaultDirModel() *DirModel { return NewDirModel(3, 3) }
 // Name implements mc.Model.
 func (m *DirModel) Name() string { return "DirectoryCMP-flat" }
 
+// Symmetry implements mc.Symmetric: the directory's rules treat caches
+// interchangeably (requests are served from an unordered message
+// multiset; invalidations fan out to a sharer set).
+func (m *DirModel) Symmetry() *mc.Symmetry { return m.sym }
+
 // encode packs s into key (len m.width), canonicalizing message order
 // by direct byte comparison of the packed records.
 func (m *DirModel) encode(s *dstate, key []byte) {
@@ -141,7 +168,7 @@ func (m *DirModel) encode(s *dstate, key []byte) {
 		key[off+3] = flag(msg.Cur, 0) | flag(msg.Excl, 1)
 		key[off+4] = byte(int8(msg.Acks))
 	}
-	sortSlots(key[m.offM:m.offD], len(s.Msgs), dmsgW)
+	mc.SortSlots(key[m.offM:m.offD], len(s.Msgs), dmsgW)
 	padSlots(key[m.offM:m.offD], len(s.Msgs), m.slots, dmsgW)
 	d := key[m.offD:]
 	d[0] = byte(s.Owner + 1)

@@ -43,6 +43,10 @@ type HammerModel struct {
 	offN, offM, offT, width int
 	slots                   int
 
+	// sym describes the layout's cache symmetry for the checker's
+	// canonicalization.
+	sym *mc.Symmetry
+
 	pool sync.Pool // *hscratch
 }
 
@@ -135,6 +139,22 @@ func NewHammerModel(caches, maxMsgs int) *HammerModel {
 	m.offM = m.offN + 1
 	m.offT = m.offM + hmsgW*m.slots
 	m.width = m.offT + 3
+	// Cache symmetry: the cache records are one per-cache group; message
+	// records carry a +1-encoded destination (0 names the home) and a
+	// plain requester index; the trailer holds +1-encoded busy/busyWB
+	// references.
+	m.sym = &mc.Symmetry{
+		Caches: caches,
+		Groups: []mc.Group{{Off: 0, Stride: 3}},
+		Refs: []mc.Ref{
+			{Off: m.offT + 1, Enc: mc.RefPlus1}, // busy
+			{Off: m.offT + 2, Enc: mc.RefPlus1}, // busyWB
+		},
+		Slots: []mc.SlotRegion{{
+			CountOff: m.offN, Off: m.offM, W: hmsgW,
+			Refs: []mc.Ref{{Off: 1, Enc: mc.RefPlus1}, {Off: 2, Enc: mc.RefPlain}},
+		}},
+	}
 	m.pool.New = func() any {
 		return &hscratch{
 			cur:  m.newState(),
@@ -159,6 +179,11 @@ func DefaultHammerModel() *HammerModel { return NewHammerModel(3, 5) }
 // Name implements mc.Model.
 func (m *HammerModel) Name() string { return "HammerCMP-flat" }
 
+// Symmetry implements mc.Symmetric: the home broadcasts to all caches
+// and collects an unordered response set, so the rules never order the
+// caches.
+func (m *HammerModel) Symmetry() *mc.Symmetry { return m.sym }
+
 // encode packs s into key (len m.width), canonicalizing message order
 // by direct byte comparison of the packed records.
 func (m *HammerModel) encode(s *hstate, key []byte) {
@@ -176,7 +201,7 @@ func (m *HammerModel) encode(s *hstate, key []byte) {
 		key[off+2] = byte(msg.P)
 		key[off+3] = flag(msg.Cur, 0) | flag(msg.Migr, 1) | flag(msg.Shared, 2)
 	}
-	sortSlots(key[m.offM:m.offT], len(s.Msgs), hmsgW)
+	mc.SortSlots(key[m.offM:m.offT], len(s.Msgs), hmsgW)
 	padSlots(key[m.offM:m.offT], len(s.Msgs), m.slots, hmsgW)
 	t := key[m.offT:]
 	t[0] = flag(s.MemCur, 0)

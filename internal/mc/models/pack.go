@@ -1,40 +1,23 @@
 package models
 
-import "bytes"
-
 // This file holds the shared machinery of the packed binary state
 // encodings. Every model packs a full state into a fixed-width byte
 // key: scalar fields become single bytes (small signed fields are
 // offset or stored as int8), booleans become flag bits, and the
 // variable-length in-flight message multiset becomes a count byte plus
-// a fixed number of fixed-width record slots, canonically ordered and
-// padded with 0xFF. Keys decode in place into per-worker scratch
-// states drawn from a sync.Pool, so the checker's hot path neither
-// parses strings nor consults a decode cache.
+// a fixed number of fixed-width record slots, canonically ordered
+// (mc.SortSlots) and padded with 0xFF. Keys decode in place into
+// per-worker scratch states drawn from a sync.Pool, so the checker's
+// hot path neither parses strings nor consults a decode cache.
+//
+// Each model also publishes an mc.Symmetry descriptor for its layout
+// (nil when its rules are not permutation-invariant), from which the
+// checker derives the canonicalize-under-cache-permutation reduction —
+// no per-model canonicalizer code.
 
 // slotPad fills unused message slots so that states differing only in
 // dead slot bytes cannot arise.
 const slotPad = 0xFF
-
-// sortSlots canonicalizes the n leading w-byte records of b into
-// ascending lexicographic byte order, so states differing only by
-// message permutation collapse to one key. This replaces the seed's
-// sort.Slice canonicalization whose comparator called fmt.Sprint on
-// both operands per comparison; insertion sort is exact and
-// allocation-free at the single-digit message counts the models bound.
-func sortSlots(b []byte, n, w int) {
-	var tmp [8]byte
-	rec := tmp[:w]
-	for i := 1; i < n; i++ {
-		copy(rec, b[i*w:])
-		j := i
-		for j > 0 && bytes.Compare(b[(j-1)*w:j*w], rec) > 0 {
-			copy(b[j*w:(j+1)*w], b[(j-1)*w:j*w])
-			j--
-		}
-		copy(b[j*w:(j+1)*w], rec)
-	}
-}
 
 // padSlots fills records n..total of b with the slot padding byte.
 func padSlots(b []byte, n, total, w int) {

@@ -197,7 +197,7 @@ func TestHammerCanonicalOrder(t *testing.T) {
 func TestSortSlots(t *testing.T) {
 	b := []byte{9, 9, 3, 1, 3, 0, 9, 9, 0, 7, 0xAA}
 	// 5 two-byte records, one trailing guard byte.
-	sortSlots(b, 5, 2)
+	mc.SortSlots(b, 5, 2)
 	want := []byte{0, 7, 3, 0, 3, 1, 9, 9, 9, 9, 0xAA}
 	if !bytes.Equal(b, want) {
 		t.Fatalf("sortSlots = %v, want %v", b, want)

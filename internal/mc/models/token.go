@@ -103,6 +103,10 @@ type TokenModel struct {
 	//	[offQ, width)    arbiter FIFO: processor indices, 0xFF padding
 	offN, offM, offR, offQ, width int
 
+	// sym describes the layout's cache symmetry for the checker's
+	// canonicalization (nil for the distributed model; see NewTokenModel).
+	sym *mc.Symmetry
+
 	pool sync.Pool // *tscratch
 }
 
@@ -119,6 +123,32 @@ func NewTokenModel(cfg TokenConfig) *TokenModel {
 	m.offR = m.offM + tmsgW*cfg.MaxMsgs
 	m.offQ = m.offR + cfg.Caches
 	m.width = m.offQ + cfg.Caches
+	if cfg.Activate != DistributedAct {
+		// Cache symmetry: the holder and request records are per-cache
+		// groups (the memory holder at index Caches stays fixed), message
+		// destinations are plain cache indices (Dst == Caches names the
+		// memory and is a fixed point), and the arbiter FIFO holds plain
+		// cache indices in arrival order (0xFF padding is a fixed point).
+		//
+		// The distributed model gets no descriptor: activeReq activates
+		// the LOWEST-indexed valid persistent request, so its transition
+		// relation orders the caches and is not closed under permutation
+		// — exactly the rule shape Ip & Dill's scalarset discipline
+		// excludes. It is checked unreduced.
+		arbRefs := make([]mc.Ref, cfg.Caches)
+		for q := range arbRefs {
+			arbRefs[q] = mc.Ref{Off: m.offQ + q, Enc: mc.RefPlain}
+		}
+		m.sym = &mc.Symmetry{
+			Caches: cfg.Caches,
+			Groups: []mc.Group{{Off: 0, Stride: 2}, {Off: m.offR, Stride: 1}},
+			Refs:   arbRefs,
+			Slots: []mc.SlotRegion{{
+				CountOff: m.offN, Off: m.offM, W: tmsgW,
+				Refs: []mc.Ref{{Off: 2, Enc: mc.RefPlain}},
+			}},
+		}
+	}
 	m.pool.New = func() any {
 		return &tscratch{
 			cur:  m.newState(),
@@ -152,6 +182,11 @@ func (m *TokenModel) Name() string {
 
 func (m *TokenModel) mem() int { return m.cfg.Caches }
 
+// Symmetry implements mc.Symmetric. The arbiter and safety-only models
+// are fully symmetric in their caches; the distributed model is not
+// (fixed-priority activation) and returns nil, opting out of reduction.
+func (m *TokenModel) Symmetry() *mc.Symmetry { return m.sym }
+
 // encode packs s into key (len m.width), canonicalizing message order
 // by direct byte comparison of the packed records.
 func (m *TokenModel) encode(s *tstate, key []byte) {
@@ -166,7 +201,7 @@ func (m *TokenModel) encode(s *tstate, key []byte) {
 		key[off+1] = flag(msg.Owner, 0) | flag(msg.HasData, 1) | flag(msg.Current, 2)
 		key[off+2] = byte(msg.Dst)
 	}
-	sortSlots(key[m.offM:m.offR], len(s.Msgs), tmsgW)
+	mc.SortSlots(key[m.offM:m.offR], len(s.Msgs), tmsgW)
 	padSlots(key[m.offM:m.offR], len(s.Msgs), m.cfg.MaxMsgs, tmsgW)
 	for p, r := range s.Reqs {
 		key[m.offR+p] = flag(r.Valid, 0) | flag(r.Write, 1) | flag(r.Marked, 2)

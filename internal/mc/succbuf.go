@@ -32,7 +32,9 @@ func (sb *SuccBuf) Emit(key []byte) {
 func (sb *SuccBuf) Len() int { return len(sb.ends) }
 
 // Key returns a view of the i-th emitted key, valid until the next
-// Reset.
+// Reset. The view is mutable and aliases the buffer: the checker's
+// symmetry reduction relies on this to canonicalize emitted keys in
+// place (every key keeps its emitted width) before hashing them.
 func (sb *SuccBuf) Key(i int) []byte {
 	start := int32(0)
 	if i > 0 {

@@ -1,0 +1,398 @@
+package mc
+
+import "bytes"
+
+// This file implements Ip & Dill scalarset-style symmetry reduction
+// over the packed binary state keys. The caches of a model
+// configuration are fully interchangeable (the paper's Section 5
+// configurations have no per-cache asymmetry), so states differing
+// only by a permutation of cache IDs are equivalent: exploring one
+// canonical representative per orbit shrinks the reachable state space
+// by up to Caches! and puts larger cache counts and message bounds
+// within the checker's reach.
+//
+// A model opts in by describing where cache indices live inside its
+// packed key (a Symmetry descriptor) instead of hand-writing a
+// canonicalizer: per-cache record groups move wholesale under a
+// permutation, reference bytes (message destinations, directory owner,
+// arbiter queue entries) are renumbered, sharer bitmasks permute
+// bitwise, and byte-sorted message-slot regions are re-sorted after
+// renumbering. The canonical representative is the lexicographically
+// minimal key over all permutations.
+//
+// Soundness requires the model's transition relation itself to be
+// permutation-invariant: for every rule and permutation π,
+// π(succ(s)) == succ(π(s)). A model whose rules order caches — the
+// distributed-activation token model arbitrates persistent requests by
+// lowest cache index — must return a nil descriptor and is explored
+// unreduced.
+
+// MaxSymmetryCaches bounds the cache counts the canonicalizer accepts.
+// Orbit sizes are counted in units of Caches!, and canonicalizing a
+// fully symmetric state degenerates to trying all Caches!
+// permutations, so the reduction is enabled only for small
+// configurations (which is where exhaustive checking lives anyway).
+const MaxSymmetryCaches = 8
+
+// RefEnc says how a byte encodes a cache reference.
+type RefEnc uint8
+
+const (
+	// RefPlain bytes hold a cache index directly. Values >= Caches
+	// (the memory holder, 0xFF slot padding) are fixed points.
+	RefPlain RefEnc = iota
+	// RefPlus1 bytes hold index+1, with 0 meaning "none" (-1 when
+	// decoded). Values above Caches are fixed points.
+	RefPlus1
+)
+
+// Ref locates one cache-reference byte: at a fixed key offset, or —
+// inside a SlotRegion — at an offset within each record.
+type Ref struct {
+	Off int
+	Enc RefEnc
+}
+
+// Group is a run of Caches fixed-width per-cache records starting at
+// Off: record i belongs to cache i and moves to position π(i) under a
+// permutation π.
+type Group struct {
+	Off, Stride int
+}
+
+// SlotRegion is a byte-sorted message-slot area: the count byte at
+// CountOff gives the number of live W-byte records at Off, each
+// possibly containing cache-reference bytes. Renumbering the
+// references perturbs the records' sort order, so the live records are
+// re-sorted after remapping (padding slots compare high and stay put).
+type SlotRegion struct {
+	CountOff int
+	Off      int
+	W        int
+	Refs     []Ref
+}
+
+// Symmetry describes where cache indices live inside a model's packed
+// key. Groups must be listed in ascending key order, and Groups[0]
+// must be the first symmetric content in the key — both hold for
+// layouts that lead with the per-cache records, as all the models'
+// layouts do. Everything not covered by a Group, Ref, Mask, or
+// SlotRegion ref byte must be permutation-invariant.
+type Symmetry struct {
+	Caches int
+	Groups []Group
+	Refs   []Ref        // fixed-position references (directory trailer, arbiter queue)
+	Masks  []int        // offsets of little-endian uint32 bitmasks with bit q ↔ cache q
+	Slots  []SlotRegion // byte-sorted message-slot regions
+}
+
+// factorial of n for n <= MaxSymmetryCaches.
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// Canonicalizer rewrites packed keys to their orbit-minimal
+// representative. It holds per-instance scratch, so each checker
+// worker needs its own (the checker pools them).
+type Canonicalizer struct {
+	sym  *Symmetry
+	fact int // Caches!
+
+	order      []uint8 // order[j] = cache placed at position j
+	pos        []uint8 // pos[i] = position of cache i (inverse of order)
+	ends       []int   // tie-cluster end positions within order
+	cand, best []byte
+	src        []byte // key being canonicalized (general path)
+	hits       int    // candidates that produced best (= stabilizer size)
+}
+
+// NewCanonicalizer builds a canonicalizer for keys of the given width.
+// It returns nil when the descriptor is nil or the configuration is
+// outside the symmetry-reduction range.
+func (s *Symmetry) NewCanonicalizer(width int) *Canonicalizer {
+	if s == nil || s.Caches < 2 || s.Caches > MaxSymmetryCaches {
+		return nil
+	}
+	return &Canonicalizer{
+		sym:   s,
+		fact:  factorial(s.Caches),
+		order: make([]uint8, s.Caches),
+		pos:   make([]uint8, s.Caches),
+		ends:  make([]int, 0, s.Caches),
+		cand:  make([]byte, width),
+		best:  make([]byte, width),
+	}
+}
+
+// Canonicalize rewrites key in place to the lexicographically minimal
+// key over all cache permutations and returns the orbit size — the
+// number of distinct keys the orbit contains (Caches! divided by the
+// state's stabilizer), so summing it over discovered representatives
+// reproduces the unreduced state count exactly.
+func (c *Canonicalizer) Canonicalize(key []byte) int {
+	s := c.sym
+	n := s.Caches
+	ord := c.order[:n]
+	for i := range ord {
+		ord[i] = uint8(i)
+	}
+
+	if !c.liveRefs(key) {
+		// Fast path: no cache reference outside the record groups is
+		// live, so the regions between the groups are
+		// permutation-invariant and the minimal key simply sorts the
+		// per-cache composite records (Groups[0] record first, ties
+		// broken by the later groups, which follow in key order).
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && c.cmpRecords(key, ord[j-1], ord[j], len(s.Groups)) > 0; j-- {
+				ord[j-1], ord[j] = ord[j], ord[j-1]
+			}
+		}
+		stab, run := 1, 1
+		for j := 1; j <= n; j++ {
+			if j < n && c.cmpRecords(key, ord[j-1], ord[j], len(s.Groups)) == 0 {
+				run++
+			} else {
+				stab *= factorial(run)
+				run = 1
+			}
+		}
+		if !isIdentity(ord) {
+			c.apply(key, c.cand, c.invert(ord))
+			copy(key, c.cand)
+		}
+		return c.fact / stab
+	}
+
+	// General path: the minimal key must arrange Groups[0] in
+	// ascending record order (it is the first permutation-sensitive
+	// content in the key), so only orders within ties of that record
+	// are candidates; every candidate is applied in full — references
+	// renumbered, slots re-sorted — and compared. The number of
+	// candidates that achieve the minimum is the stabilizer size.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && c.cmpRecords(key, ord[j-1], ord[j], 1) > 0; j-- {
+			ord[j-1], ord[j] = ord[j], ord[j-1]
+		}
+	}
+	c.ends = c.ends[:0]
+	for j := 1; j <= n; j++ {
+		if j == n || c.cmpRecords(key, ord[j-1], ord[j], 1) != 0 {
+			c.ends = append(c.ends, j)
+		}
+	}
+	if len(c.ends) == n && isIdentity(ord) {
+		// Sole candidate and it is the identity: the key is already
+		// canonical (its Groups[0] records are strictly ascending, so
+		// the stabilizer is trivial and the orbit is full).
+		return c.fact
+	}
+	c.src = key
+	c.hits = 0
+	c.enumerate(0)
+	c.src = nil
+	copy(key, c.best)
+	return c.fact / c.hits
+}
+
+// cmpRecords compares caches a and b by their records in the first
+// ngroups groups, in key order.
+func (c *Canonicalizer) cmpRecords(key []byte, a, b uint8, ngroups int) int {
+	for _, g := range c.sym.Groups[:ngroups] {
+		ra := key[g.Off+int(a)*g.Stride : g.Off+(int(a)+1)*g.Stride]
+		rb := key[g.Off+int(b)*g.Stride : g.Off+(int(b)+1)*g.Stride]
+		if d := bytes.Compare(ra, rb); d != 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// isIdentity reports whether ord is 0..n-1 in order.
+func isIdentity(ord []uint8) bool {
+	for j, cache := range ord {
+		if int(cache) != j {
+			return false
+		}
+	}
+	return true
+}
+
+// invert fills pos from ord.
+func (c *Canonicalizer) invert(ord []uint8) []uint8 {
+	pos := c.pos[:len(ord)]
+	for j, cache := range ord {
+		pos[cache] = uint8(j)
+	}
+	return pos
+}
+
+// enumerate walks every arrangement of the tie clusters (the
+// permutations within c.ends-bounded runs of c.order), trying each.
+func (c *Canonicalizer) enumerate(cluster int) {
+	if cluster == len(c.ends) {
+		c.try()
+		return
+	}
+	lo := 0
+	if cluster > 0 {
+		lo = c.ends[cluster-1]
+	}
+	c.permuteRange(lo, c.ends[cluster], cluster)
+}
+
+// permuteRange generates all orders of c.order[lo:hi] (one tie
+// cluster), descending into the next cluster for each.
+func (c *Canonicalizer) permuteRange(lo, hi, cluster int) {
+	if lo >= hi {
+		c.enumerate(cluster + 1)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		c.order[lo], c.order[i] = c.order[i], c.order[lo]
+		c.permuteRange(lo+1, hi, cluster)
+		c.order[lo], c.order[i] = c.order[i], c.order[lo]
+	}
+}
+
+// try applies the current candidate order and folds it into best.
+func (c *Canonicalizer) try() {
+	c.apply(c.src, c.cand, c.invert(c.order[:c.sym.Caches]))
+	if c.hits == 0 {
+		copy(c.best, c.cand)
+		c.hits = 1
+		return
+	}
+	switch bytes.Compare(c.cand, c.best) {
+	case -1:
+		copy(c.best, c.cand)
+		c.hits = 1
+	case 0:
+		c.hits++
+	}
+}
+
+// remapRef renumbers one reference byte under pos.
+func remapRef(b byte, enc RefEnc, pos []uint8, n int) byte {
+	switch enc {
+	case RefPlain:
+		if int(b) < n {
+			return pos[b]
+		}
+	case RefPlus1:
+		if b >= 1 && int(b) <= n {
+			return pos[b-1] + 1
+		}
+	}
+	return b
+}
+
+// refLive reports whether a reference byte actually names a cache (a
+// non-fixed point of the permutation action).
+func refLive(b byte, enc RefEnc, n int) bool {
+	switch enc {
+	case RefPlain:
+		return int(b) < n
+	case RefPlus1:
+		return b >= 1 && int(b) <= n
+	}
+	return false
+}
+
+// liveRefs reports whether any reference byte or mask bit in key names
+// a cache.
+func (c *Canonicalizer) liveRefs(key []byte) bool {
+	s := c.sym
+	n := s.Caches
+	for _, r := range s.Refs {
+		if refLive(key[r.Off], r.Enc, n) {
+			return true
+		}
+	}
+	for _, off := range s.Masks {
+		v := uint32(key[off]) | uint32(key[off+1])<<8 | uint32(key[off+2])<<16 | uint32(key[off+3])<<24
+		if v&(1<<uint(n)-1) != 0 {
+			return true
+		}
+	}
+	for _, sl := range s.Slots {
+		cnt := int(key[sl.CountOff])
+		for k := 0; k < cnt; k++ {
+			base := sl.Off + k*sl.W
+			for _, r := range sl.Refs {
+				if refLive(key[base+r.Off], r.Enc, n) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// apply writes π(src) into dst: group records move to their new
+// positions, reference bytes and mask bits are renumbered, and slot
+// regions are re-sorted so the result is a valid canonical encoding.
+func (c *Canonicalizer) apply(src, dst []byte, pos []uint8) {
+	s := c.sym
+	n := s.Caches
+	copy(dst, src)
+	for _, g := range s.Groups {
+		for i := 0; i < n; i++ {
+			copy(dst[g.Off+int(pos[i])*g.Stride:g.Off+(int(pos[i])+1)*g.Stride],
+				src[g.Off+i*g.Stride:])
+		}
+	}
+	for _, r := range s.Refs {
+		dst[r.Off] = remapRef(src[r.Off], r.Enc, pos, n)
+	}
+	for _, off := range s.Masks {
+		v := uint32(src[off]) | uint32(src[off+1])<<8 | uint32(src[off+2])<<16 | uint32(src[off+3])<<24
+		low := v & (1<<uint(n) - 1)
+		var w uint32
+		for i := 0; low != 0; i++ {
+			if low&(1<<uint(i)) != 0 {
+				w |= 1 << uint(pos[i])
+				low &^= 1 << uint(i)
+			}
+		}
+		v = v&^(1<<uint(n)-1) | w
+		dst[off] = byte(v)
+		dst[off+1] = byte(v >> 8)
+		dst[off+2] = byte(v >> 16)
+		dst[off+3] = byte(v >> 24)
+	}
+	for _, sl := range s.Slots {
+		cnt := int(src[sl.CountOff])
+		for k := 0; k < cnt; k++ {
+			base := sl.Off + k*sl.W
+			for _, r := range sl.Refs {
+				dst[base+r.Off] = remapRef(dst[base+r.Off], r.Enc, pos, n)
+			}
+		}
+		SortSlots(dst[sl.Off:], cnt, sl.W)
+	}
+}
+
+// SortSlots canonicalizes the n leading w-byte records of b (w <= 8)
+// into ascending lexicographic byte order, so states differing only by
+// message permutation collapse to one key. Models call it while
+// packing; the canonicalizer calls it again after renumbering slot
+// reference bytes. Insertion sort is exact and allocation-free at the
+// single-digit message counts the models bound.
+func SortSlots(b []byte, n, w int) {
+	var tmp [8]byte
+	rec := tmp[:w]
+	for i := 1; i < n; i++ {
+		copy(rec, b[i*w:])
+		j := i
+		for j > 0 && bytes.Compare(b[(j-1)*w:j*w], rec) > 0 {
+			copy(b[j*w:(j+1)*w], b[(j-1)*w:j*w])
+			j--
+		}
+		copy(b[j*w:(j+1)*w], rec)
+	}
+}

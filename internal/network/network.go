@@ -126,23 +126,88 @@ type Network struct {
 	// OnSend, if set, observes every message as it is sent.
 	OnSend func(m *Message)
 
-	// In-flight token accounting for the conservation monitor.
-	TokensInFlight map[mem.Block]int
-	OwnersInFlight map[mem.Block]int
+	// In-flight token accounting for the conservation monitor, dense
+	// by block: these counters are touched on every monitored message,
+	// so the old per-message map assigns and deletes are replaced by
+	// two array indexes into a paged table (see inFlightCount). Entries
+	// stay zero after their tokens drain; TokenAudit-style consumers
+	// skip them via EachInFlight.
+	inFlight [](*[inFlightPageSize]blockCount)
 }
+
+// blockCount tallies one block's undelivered tokens and owner tokens.
+type blockCount struct{ tokens, owners int32 }
+
+// The in-flight table is a page directory over fixed-size dense pages
+// allocated on first touch: workload addresses cluster into a handful
+// of contiguous regions (locks at 0x100000; the commercial regions at
+// 0x04_0000_0000 steps), so each region lands in one or two 64K-block
+// pages and a single flat slice indexed by block — region bases reach
+// block ~2^31 — would be hopeless.
+const (
+	inFlightPageBits = 16
+	inFlightPageSize = 1 << inFlightPageBits
+)
 
 // New builds a network over geometry g.
 func New(eng *sim.Engine, g topo.Geometry, cfg Config) *Network {
 	n := g.NumNodes()
 	return &Network{
-		Eng:            eng,
-		Geom:           g,
-		Cfg:            cfg,
-		numNodes:       n,
-		endpoints:      make([]Endpoint, n),
-		nextFree:       make([]sim.Time, n*n),
-		TokensInFlight: make(map[mem.Block]int),
-		OwnersInFlight: make(map[mem.Block]int),
+		Eng:       eng,
+		Geom:      g,
+		Cfg:       cfg,
+		numNodes:  n,
+		endpoints: make([]Endpoint, n),
+		nextFree:  make([]sim.Time, n*n),
+	}
+}
+
+// inFlightCount returns the counter cell for block b, growing the page
+// directory and allocating b's page on first touch.
+func (n *Network) inFlightCount(b mem.Block) *blockCount {
+	page := uint64(b) >> inFlightPageBits
+	if page >= uint64(len(n.inFlight)) {
+		grown := make([](*[inFlightPageSize]blockCount), page+1)
+		copy(grown, n.inFlight)
+		n.inFlight = grown
+	}
+	p := n.inFlight[page]
+	if p == nil {
+		p = new([inFlightPageSize]blockCount)
+		n.inFlight[page] = p
+	}
+	return &p[uint64(b)&(inFlightPageSize-1)]
+}
+
+// TokensInFlight reports the undelivered tokens for block b.
+func (n *Network) TokensInFlight(b mem.Block) int {
+	if page := uint64(b) >> inFlightPageBits; page < uint64(len(n.inFlight)) && n.inFlight[page] != nil {
+		return int(n.inFlight[page][uint64(b)&(inFlightPageSize-1)].tokens)
+	}
+	return 0
+}
+
+// OwnersInFlight reports the undelivered owner tokens for block b.
+func (n *Network) OwnersInFlight(b mem.Block) int {
+	if page := uint64(b) >> inFlightPageBits; page < uint64(len(n.inFlight)) && n.inFlight[page] != nil {
+		return int(n.inFlight[page][uint64(b)&(inFlightPageSize-1)].owners)
+	}
+	return 0
+}
+
+// EachInFlight calls fn for every block with in-flight tokens or owner
+// tokens (the conservation auditor's view of the wires). It scans the
+// touched pages, so it is for auditors, not hot paths.
+func (n *Network) EachInFlight(fn func(b mem.Block, tokens, owners int)) {
+	for page, p := range n.inFlight {
+		if p == nil {
+			continue
+		}
+		for i := range p {
+			if c := p[i]; c.tokens != 0 || c.owners != 0 {
+				fn(mem.Block(uint64(page)<<inFlightPageBits|uint64(i)), int(c.tokens), int(c.owners))
+			}
+		}
 	}
 }
 
@@ -260,11 +325,12 @@ func (n *Network) Send(m *Message) {
 		}
 	}
 	n.InFlight++
-	if m.Tokens > 0 {
-		n.TokensInFlight[m.Block] += m.Tokens
-	}
-	if m.Owner {
-		n.OwnersInFlight[m.Block]++
+	if m.Tokens > 0 || m.Owner {
+		c := n.inFlightCount(m.Block)
+		c.tokens += int32(m.Tokens)
+		if m.Owner {
+			c.owners++
+		}
 	}
 
 	ser := sim.Time(0)
@@ -284,16 +350,11 @@ func (n *Network) Send(m *Message) {
 
 func (n *Network) deliver(m *Message) {
 	n.InFlight--
-	if m.Tokens > 0 {
-		n.TokensInFlight[m.Block] -= m.Tokens
-		if n.TokensInFlight[m.Block] == 0 {
-			delete(n.TokensInFlight, m.Block)
-		}
-	}
-	if m.Owner {
-		n.OwnersInFlight[m.Block]--
-		if n.OwnersInFlight[m.Block] == 0 {
-			delete(n.OwnersInFlight, m.Block)
+	if m.Tokens > 0 || m.Owner {
+		c := n.inFlightCount(m.Block)
+		c.tokens -= int32(m.Tokens)
+		if m.Owner {
+			c.owners--
 		}
 	}
 	if n.Monitor != nil {

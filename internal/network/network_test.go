@@ -3,6 +3,7 @@ package network
 import (
 	"testing"
 
+	"tokencmp/internal/mem"
 	"tokencmp/internal/sim"
 	"tokencmp/internal/stats"
 	"tokencmp/internal/topo"
@@ -145,11 +146,45 @@ func TestBroadcastSkipsSource(t *testing.T) {
 func TestTokenInFlightAccounting(t *testing.T) {
 	eng, n, g, _ := testNet(t)
 	n.Send(&Message{Src: g.L1DNode(0, 0), Dst: g.L1DNode(0, 1), Block: 9, Tokens: 5, Owner: true, HasData: true})
-	if n.TokensInFlight[9] != 5 || n.OwnersInFlight[9] != 1 {
-		t.Fatalf("in-flight = %d/%d, want 5/1", n.TokensInFlight[9], n.OwnersInFlight[9])
+	if n.TokensInFlight(9) != 5 || n.OwnersInFlight(9) != 1 {
+		t.Fatalf("in-flight = %d/%d, want 5/1", n.TokensInFlight(9), n.OwnersInFlight(9))
+	}
+	blocks := 0
+	n.EachInFlight(func(b mem.Block, tokens, owners int) {
+		blocks++
+		if b != 9 || tokens != 5 || owners != 1 {
+			t.Errorf("EachInFlight reported b=%v tokens=%d owners=%d, want 9/5/1", b, tokens, owners)
+		}
+	})
+	if blocks != 1 {
+		t.Errorf("EachInFlight visited %d blocks, want 1", blocks)
 	}
 	eng.Run(0)
-	if len(n.TokensInFlight) != 0 || len(n.OwnersInFlight) != 0 {
+	if n.TokensInFlight(9) != 0 || n.OwnersInFlight(9) != 0 {
 		t.Error("in-flight counters not cleared after delivery")
+	}
+	n.EachInFlight(func(b mem.Block, tokens, owners int) {
+		t.Errorf("EachInFlight visited %v (%d/%d) after all deliveries", b, tokens, owners)
+	})
+	// Commercial-workload regions sit at block ~2^31: the paged table
+	// must carry far-apart blocks without materializing the gap.
+	far := mem.BlockOf(0x1C_0000_0000)
+	n.Send(&Message{Src: g.L1DNode(0, 0), Dst: g.L1DNode(0, 1), Block: far, Tokens: 2, HasData: true})
+	if n.TokensInFlight(far) != 2 || n.TokensInFlight(far-1) != 0 {
+		t.Fatalf("far-block in-flight = %d (neighbor %d), want 2 (0)", n.TokensInFlight(far), n.TokensInFlight(far-1))
+	}
+	blocks = 0
+	n.EachInFlight(func(b mem.Block, tokens, owners int) {
+		blocks++
+		if b != far || tokens != 2 || owners != 0 {
+			t.Errorf("EachInFlight reported b=%v tokens=%d owners=%d, want %v/2/0", b, tokens, owners, far)
+		}
+	})
+	if blocks != 1 {
+		t.Errorf("EachInFlight visited %d blocks, want 1", blocks)
+	}
+	eng.Run(0)
+	if n.TokensInFlight(far) != 0 {
+		t.Error("far-block counter not cleared after delivery")
 	}
 }

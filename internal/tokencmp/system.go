@@ -137,12 +137,11 @@ func (s *System) TokenAudit() error {
 			}
 		}
 	}
-	for b, n := range s.Net.TokensInFlight {
-		get(b).tokens += n
-	}
-	for b, n := range s.Net.OwnersInFlight {
-		get(b).owners += n
-	}
+	s.Net.EachInFlight(func(b mem.Block, tokens, owners int) {
+		t := get(b)
+		t.tokens += tokens
+		t.owners += owners
+	})
 
 	for b, t := range tallies {
 		if t.tokens != s.Cfg.T {
