@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -199,8 +200,11 @@ func compareReports(oldRep, newRep *Report, tolerance float64) (deltas []delta, 
 		delete(byName, nb.Name)
 		for _, k := range gatedMetrics {
 			_, inOld := ob.Metrics[k]
-			_, inNew := nb.Metrics[k]
-			if inOld && !inNew {
+			nv, inNew := nb.Metrics[k]
+			// A NaN gated value is as gone as a missing one — every
+			// comparison against NaN is false, so without this it would
+			// sail through the regression check below.
+			if inOld && (!inNew || math.IsNaN(nv)) {
 				dropped = append(dropped, nb.Name+" "+k)
 			}
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -137,6 +138,71 @@ func TestCompareImprovementPasses(t *testing.T) {
 	}
 	if len(deltas) != 2 {
 		t.Errorf("compared %d metrics, want 2", len(deltas))
+	}
+}
+
+// TestCompareZeroTolerance pins -tolerance 0 semantics: any ns/op
+// growth or states/sec drop at all regresses, but byte-identical
+// values still pass — the threshold comparison is strict, so a 0%
+// change is never "beyond 0%".
+func TestCompareZeroTolerance(t *testing.T) {
+	oldRep := mkReport("Sec5ModelCheck", map[string]float64{"ns/op": 100, "states/sec": 1000})
+	newRep := mkReport("Sec5ModelCheck", map[string]float64{"ns/op": 100.001, "states/sec": 999.999})
+	deltas, _, _ := compareReports(oldRep, newRep, 0)
+	for _, d := range deltas {
+		if !d.regression {
+			t.Errorf("%s %s: %+g%% not flagged at tolerance 0", d.bench, d.metric, d.pct)
+		}
+	}
+
+	same := mkReport("Sec5ModelCheck", map[string]float64{"ns/op": 100, "states/sec": 1000})
+	deltas, _, _ = compareReports(oldRep, same, 0)
+	for _, d := range deltas {
+		if d.regression {
+			t.Errorf("%s %s: identical values flagged at tolerance 0", d.bench, d.metric)
+		}
+	}
+}
+
+// TestCompareExactlyAtTolerance pins the boundary: a change of exactly
+// the tolerance passes (the gate reads "beyond N percent"), one hair
+// past it fails. Values are chosen so the percentage math is exact in
+// binary floating point (16/128 and 125/1000 are both powers of two
+// over their bases).
+func TestCompareExactlyAtTolerance(t *testing.T) {
+	oldRep := mkReport("Sec5ModelCheck", map[string]float64{"ns/op": 128, "states/sec": 1000})
+	at := mkReport("Sec5ModelCheck", map[string]float64{"ns/op": 144, "states/sec": 875})
+	deltas, _, _ := compareReports(oldRep, at, 12.5)
+	for _, d := range deltas {
+		if d.regression {
+			t.Errorf("%s %s: %+g%% flagged at tolerance 12.5, want exactly-at-threshold to pass", d.bench, d.metric, d.pct)
+		}
+	}
+
+	past := mkReport("Sec5ModelCheck", map[string]float64{"ns/op": 145, "states/sec": 874})
+	deltas, _, _ = compareReports(oldRep, past, 12.5)
+	for _, d := range deltas {
+		if !d.regression {
+			t.Errorf("%s %s: %+g%% not flagged just past tolerance 12.5", d.bench, d.metric, d.pct)
+		}
+	}
+}
+
+// TestCompareNaNGatedMetric pins the NaN hole: every comparison
+// against NaN is false, so a NaN gated value would pass the threshold
+// check — it must instead gate like a missing metric. Informational
+// metrics stay informational even when NaN.
+func TestCompareNaNGatedMetric(t *testing.T) {
+	oldRep := mkReport("Sec5ModelCheck", map[string]float64{"ns/op": 100, "states/sec": 1000, "safety-states": 243})
+	newRep := mkReport("Sec5ModelCheck", map[string]float64{"ns/op": 100, "states/sec": math.NaN(), "safety-states": math.NaN()})
+	deltas, _, dropped := compareReports(oldRep, newRep, 10)
+	if len(dropped) != 1 || dropped[0] != "Sec5ModelCheck states/sec" {
+		t.Errorf("dropped = %v, want [Sec5ModelCheck states/sec]", dropped)
+	}
+	for _, d := range deltas {
+		if d.regression {
+			t.Errorf("%s %s: NaN flagged as regression, want gated via dropped instead", d.bench, d.metric)
+		}
 	}
 }
 

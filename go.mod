@@ -1,3 +1,10 @@
 module tokencmp
 
 go 1.24
+
+// Deliberately dependency-free. cmd/simlint's analyzers target a
+// stdlib-only mirror of golang.org/x/tools/go/analysis that lives in
+// internal/lint/analysis; if the module ever takes the real x/tools
+// dependency, pin it here with a committed go.sum and delete the
+// mirror (the analyzer sources port with an import swap). See the
+// "Static analysis" section of README.md.

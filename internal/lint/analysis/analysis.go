@@ -1,0 +1,61 @@
+// Package analysis is a minimal, API-compatible subset of
+// golang.org/x/tools/go/analysis, built on the standard library only.
+//
+// The simlint analyzers (msgown, simdet, schedalloc) are written against
+// this interface exactly as they would be against the real package: an
+// Analyzer bundles a name, documentation, and a Run function that
+// receives a fully type-checked package through a Pass and reports
+// Diagnostics. The build environment for this module is offline and the
+// module is deliberately dependency-free, so the x/tools module cannot
+// be pinned in go.mod; this package stands in for the ~hundred lines of
+// its API that the analyzers use. If the module ever grows a vendored
+// or proxied golang.org/x/tools, the analyzers port by changing one
+// import line (and cmd/simlint by switching to multichecker.Main,
+// gaining `go vet -vettool=` integration for free).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// simlint:ignore directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary,
+	// optionally followed by paragraphs of detail.
+	Doc string
+
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver (or test harness)
+	// installs it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"// ordinary comment", nil, false},
+		{"//simlint:ignore simdet wall-clock throughput only", []string{"simdet"}, true},
+		{"//simlint:ignore msgown,schedalloc reviewed exception", []string{"msgown", "schedalloc"}, true},
+		{"// simlint:ignore simdet spaced form works too", []string{"simdet"}, true},
+		{"//simlint:ignore", []string{"all"}, true},
+		{"//simlint:ignore ,, justification", []string{"all"}, true},
+	}
+	for _, c := range cases {
+		names, ok := parseDirective(c.text)
+		if ok != c.ok || !reflect.DeepEqual(names, c.names) {
+			t.Errorf("parseDirective(%q) = %v, %v; want %v, %v", c.text, names, ok, c.names, c.ok)
+		}
+	}
+}
+
+const ignoreSrc = `package p
+
+func f() int {
+	a := 1 //simlint:ignore simdet same-line directive
+	//simlint:ignore msgown,schedalloc stand-alone: applies to next line
+	b := 2
+	c := 3
+	return a + b + c
+}
+`
+
+func TestIgnoresIn(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := ignoresIn(fset, []*ast.File{f})
+	at := func(analyzer string, line int) bool {
+		return set.suppressed(analyzer, token.Position{Filename: "p.go", Line: line})
+	}
+	if !at("simdet", 4) {
+		t.Error("same-line directive did not suppress simdet on its line")
+	}
+	if at("msgown", 4) {
+		t.Error("same-line directive suppressed an analyzer it did not name")
+	}
+	if !at("msgown", 6) || !at("schedalloc", 6) {
+		t.Error("stand-alone directive did not suppress the next code line")
+	}
+	if at("simdet", 6) {
+		t.Error("stand-alone directive suppressed an analyzer it did not name")
+	}
+	if at("msgown", 7) {
+		t.Error("stand-alone directive leaked past its target line")
+	}
+}

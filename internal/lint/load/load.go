@@ -1,0 +1,162 @@
+// Package load turns `go list` package patterns into fully type-checked
+// packages for the simlint analyzers.
+//
+// It is the offline, stdlib-only stand-in for golang.org/x/tools/go/packages:
+// one `go list -deps -export` invocation compiles (or reuses from the
+// build cache) export data for every dependency, and the target
+// packages themselves are parsed from source and type-checked against
+// that export data through the standard gc importer. Everything runs
+// without network access; the go command is the only external tool.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+
+	// TypeErrors holds type-checker soft errors. Analyzers still run
+	// over packages with errors (the violating-testdata package must
+	// compile, but a driver should surface these).
+	TypeErrors []error
+}
+
+// listEntry is the subset of `go list -json` output we consume.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON stream.
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", args, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Packages loads and type-checks the packages matched by patterns,
+// resolved relative to dir (empty means the current directory). The
+// returned FileSet is shared by all packages.
+func Packages(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+
+	// One pass over the full dependency graph: the go command builds
+	// (or pulls from its cache) export data for every package the
+	// targets import, including in-module siblings.
+	deps, err := goList(dir, append([]string{"-deps", "-export", "-json=ImportPath,Export,DepOnly"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+
+	roots, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, r := range roots {
+		if r.Standard {
+			continue
+		}
+		p, err := check(fset, imp, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return fset, pkgs, nil
+}
+
+// check parses and type-checks one target package from source.
+func check(fset *token.FileSet, imp types.Importer, r listEntry) (*Package, error) {
+	var files []*ast.File
+	for _, name := range r.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(r.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var soft []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { soft = append(soft, err) },
+	}
+	pkg, err := conf.Check(r.ImportPath, fset, files, info)
+	if err != nil && pkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %v", r.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: r.ImportPath,
+		Dir:        r.Dir,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+		TypeErrors: soft,
+	}, nil
+}

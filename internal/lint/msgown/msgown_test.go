@@ -1,0 +1,12 @@
+package msgown_test
+
+import (
+	"testing"
+
+	"tokencmp/internal/lint/analysistest"
+	"tokencmp/internal/lint/msgown"
+)
+
+func TestMsgown(t *testing.T) {
+	analysistest.Run(t, msgown.Analyzer, "./testdata/src/msgowntest")
+}

@@ -1,0 +1,177 @@
+// Package msgowntest is the msgown analysistest corpus: every `want`
+// comment marks a true positive the analyzer must report, and every
+// handler without one is a legal idiom it must stay silent on. The
+// package imports the real network and sim types, so the analyzer is
+// exercised against exactly the signatures it matches in production.
+// It compiles but is never linked into anything (testdata directories
+// are invisible to build wildcards).
+package msgowntest
+
+import (
+	"tokencmp/internal/mem"
+	"tokencmp/internal/network"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/topo"
+)
+
+// Retainer violates the ownership contract in every way msgown checks.
+type Retainer struct {
+	net   *network.Network
+	eng   *sim.Engine
+	last  *network.Message
+	held  map[mem.Block]*network.Message
+	queue []*network.Message
+	ch    chan *network.Message
+	fn    func()
+}
+
+func (r *Retainer) use(m *network.Message) bool { return m != nil }
+
+func (r *Retainer) Recv(m *network.Message) {
+	r.net.Free(m) // want `Free frees a network-owned message delivered to Recv`
+	r.net.Send(m) // want `use of message m after Free on line \d+`
+	_ = m.Tokens  // want `use of message m after Free on line \d+`
+	m = r.net.CopyOf(&network.Message{})
+	r.net.Send(m) // reassignment revived m: clean
+}
+
+type SendRetainer struct{ Retainer }
+
+func (r *SendRetainer) Recv(m *network.Message) {
+	r.net.Send(m) // want `Send sends a network-owned message delivered to Recv`
+}
+
+type AfterRetainer struct{ Retainer }
+
+func (r *AfterRetainer) Recv(m *network.Message) {
+	r.net.SendAfter(sim.NS(1), m) // want `SendAfter sends a network-owned message delivered to Recv`
+}
+
+type StoreRetainer struct{ Retainer }
+
+func (r *StoreRetainer) Recv(m *network.Message) {
+	r.last = m                          // want `network-owned message m stored in a field`
+	r.held[m.Block] = m                 // want `network-owned message m stored in a slice or map`
+	r.queue = append(r.queue, m)        // want `network-owned message m appended to a slice`
+	r.ch <- m                           // want `network-owned message m sent on a channel`
+	pair := [2]*network.Message{m, nil} // want `network-owned message m stored in a composite literal`
+	_ = pair
+}
+
+type ClosureRetainer struct{ Retainer }
+
+func (r *ClosureRetainer) Recv(m *network.Message) {
+	r.eng.Schedule(sim.NS(1), func() { // want `closure scheduled with Schedule captures network-owned message m`
+		r.use(m)
+	})
+	r.eng.ScheduleCall(sim.NS(1), retainThunk, r, m) // want `network-owned message m passed to ScheduleCall`
+	r.fn = func() { r.use(m) }                       // want `closure stored in a variable captures network-owned message m`
+	go func() { r.use(m) }()                         // want `closure started as a goroutine captures network-owned message m`
+}
+
+func retainThunk(ctx, arg any) {
+	r, m := ctx.(*ClosureRetainer), arg.(*network.Message)
+	r.use(m)
+}
+
+// UseAfterTransfer exercises the owned-message lifecycle violations.
+type UseAfterTransfer struct{ Retainer }
+
+func (r *UseAfterTransfer) Recv(m *network.Message) {
+	cp := r.net.CopyOf(m)
+	r.net.Send(cp)
+	_ = cp.Tokens // want `use of message cp after Send on line \d+`
+
+	fresh := r.net.NewMessage()
+	r.net.Free(fresh)
+	r.net.Free(fresh) // want `use of message fresh after Free on line \d+`
+
+	late := r.net.CopyOf(m)
+	r.net.SendAfter(sim.NS(2), late)
+	r.use(late) // want `use of message late after SendAfter on line \d+`
+
+	held := r.net.CopyOf(m)
+	r.net.Send(held)
+	r.eng.Schedule(sim.NS(1), func() { // want `closure captures message held after Send on line \d+`
+		r.use(held)
+	})
+}
+
+// ConditionalTransfer: a transfer on one falling-through branch kills
+// the message at the join.
+type ConditionalTransfer struct{ Retainer }
+
+func (r *ConditionalTransfer) Recv(m *network.Message) {
+	cp := r.net.CopyOf(m)
+	if m.Tokens > 0 {
+		r.net.Send(cp)
+	}
+	_ = cp.Owner // want `use of message cp after Send on line \d+`
+}
+
+// --- Legal idioms below: the analyzer must stay silent. ---
+
+// CleanHandler is the production Recv idiom: defer a pooled copy, free
+// it in the thunk.
+type CleanHandler struct{ Retainer }
+
+func cleanThunk(ctx, arg any) {
+	c, m := ctx.(*CleanHandler), arg.(*network.Message)
+	if c.handle(m) {
+		c.net.Free(m) // unknown origin: the thunk frees the pooled copy
+	}
+}
+
+func (c *CleanHandler) Recv(m *network.Message) {
+	// Synchronous reads and helper calls of the delivered message are fine.
+	if m.Kind == 0 {
+		c.handle(m)
+	}
+	// Broadcast copies the template internally; passing m is legal.
+	c.net.Broadcast(m, []topo.NodeID{0, 1})
+	// SendNew takes a value: building it from m's fields is legal.
+	c.net.SendNew(network.Message{Src: m.Dst, Dst: m.Src, Block: m.Block})
+	// The canonical defer-with-copy idiom.
+	c.eng.ScheduleCall(sim.NS(1), cleanThunk, c, c.net.CopyOf(m))
+}
+
+func (c *CleanHandler) handle(m *network.Message) bool {
+	// Re-deferring an unknown-origin message keeps ownership with the
+	// scheduled thunk: legal (the hold-until re-defer idiom).
+	if m.Aux != 0 {
+		c.eng.ScheduleCallAt(sim.NS(10), cleanThunk, c, m)
+		return false
+	}
+	return true
+}
+
+// CleanTransfers: branch-terminated transfers and revivals are not
+// use-after-transfer.
+type CleanTransfers struct{ Retainer }
+
+func (r *CleanTransfers) Recv(m *network.Message) {
+	cp := r.net.CopyOf(m)
+	if cp.Tokens == 0 {
+		r.net.Free(cp)
+		return
+	}
+	cp.Owner = true // clean: the freeing branch returned
+
+	done := r.net.CopyOf(m)
+	if done.HasData {
+		r.net.Send(done)
+	} else {
+		r.net.Free(done)
+	}
+	// no use of done after the join
+
+	again := r.net.CopyOf(m)
+	r.net.Send(again)
+	again = r.net.NewMessage()
+	again.Tokens = 1 // clean: reassigned from the pool
+	r.net.Send(again)
+
+	held := r.net.CopyOf(m)
+	defer r.net.Free(held) // deferred free runs last: later uses are fine
+	held.Aux = 3
+}

@@ -1,0 +1,12 @@
+package schedalloc_test
+
+import (
+	"testing"
+
+	"tokencmp/internal/lint/analysistest"
+	"tokencmp/internal/lint/schedalloc"
+)
+
+func TestSchedalloc(t *testing.T) {
+	analysistest.Run(t, schedalloc.Analyzer, "./testdata/src/schedalloctest")
+}

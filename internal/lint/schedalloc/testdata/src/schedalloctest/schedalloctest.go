@@ -1,0 +1,93 @@
+// Package schedalloctest is the schedalloc analysistest corpus: the
+// per-event closure-allocation patterns PR 4 profiled out of the
+// simulator hot paths, plus the idioms that replaced them (which must
+// stay clean). Compiles against the real sim.Engine; never linked.
+package schedalloctest
+
+import (
+	"tokencmp/internal/sim"
+)
+
+type Proc struct {
+	eng  *sim.Engine
+	accs []int
+	done func(int)
+}
+
+// --- Per-iteration closure allocations: flagged. ---
+
+func (p *Proc) startAllRange() {
+	for i, a := range p.accs {
+		p.eng.Schedule(sim.NS(int64(i)), func() { // want `captures loop variable a`
+			p.done(a)
+		})
+	}
+}
+
+func (p *Proc) startAllFor() {
+	for i := 0; i < len(p.accs); i++ {
+		p.eng.ScheduleAt(sim.NS(int64(i)), func() { // want `captures loop variable i`
+			p.done(i)
+		})
+	}
+}
+
+func (p *Proc) startAllInvariant(v int) {
+	for range p.accs {
+		p.eng.Schedule(sim.NS(1), func() { // want `capturing closure passed to Engine\.Schedule inside a loop`
+			p.done(v)
+		})
+	}
+}
+
+func (p *Proc) nestedLoopCapture() {
+	for _, a := range p.accs {
+		if a > 0 {
+			p.eng.Schedule(sim.NS(2), func() { // want `captures loop variable a`
+				p.done(a)
+			})
+		}
+	}
+}
+
+// --- Capturing thunks defeat ScheduleCall: flagged anywhere. ---
+
+func (p *Proc) captureThunk(v int) {
+	p.eng.ScheduleCall(sim.NS(1), func(ctx, arg any) { // want `capturing closure passed to Engine\.ScheduleCall defeats the closure-free fast path`
+		p.done(v)
+	}, nil, nil)
+}
+
+func (p *Proc) captureThunkAt(v int) {
+	p.eng.ScheduleCallAt(sim.NS(1), func(ctx, arg any) { // want `capturing closure passed to Engine\.ScheduleCallAt defeats the closure-free fast path`
+		p.done(v)
+	}, nil, nil)
+}
+
+// --- Clean idioms. ---
+
+// procDone is the package-level thunk idiom (cpu.Processor.accDone).
+func procDone(ctx, arg any) {
+	p := ctx.(*Proc)
+	p.done(arg.(int))
+}
+
+func (p *Proc) startAllThunk() {
+	for i := range p.accs {
+		p.eng.ScheduleCall(sim.NS(int64(i)), procDone, p, i)
+	}
+}
+
+// coldPathClosure: a capturing closure outside any loop is the clearer
+// idiom on miss/timeout paths and is deliberately not flagged.
+func (p *Proc) coldPathClosure(v int) {
+	p.eng.Schedule(sim.NS(1), func() { p.done(v) })
+}
+
+// nonCapturing literals are static function values: no allocation.
+func (p *Proc) nonCapturing() {
+	for range p.accs {
+		p.eng.Schedule(sim.NS(1), func() {})
+	}
+	p.eng.ScheduleCall(sim.NS(1), func(ctx, arg any) {}, p, 0)
+}

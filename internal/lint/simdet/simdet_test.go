@@ -1,0 +1,12 @@
+package simdet_test
+
+import (
+	"testing"
+
+	"tokencmp/internal/lint/analysistest"
+	"tokencmp/internal/lint/simdet"
+)
+
+func TestSimdet(t *testing.T) {
+	analysistest.Run(t, simdet.Analyzer, "./testdata/src/simdettest")
+}

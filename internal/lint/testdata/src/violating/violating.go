@@ -1,0 +1,50 @@
+// Package violating deliberately breaks every contract simlint
+// enforces. CI builds simlint and asserts that running it over this
+// package exits non-zero — a canary that the analyzers have not been
+// silently disabled or defanged. It lives under testdata so build and
+// test wildcards never see it; only the explicit CI invocation does.
+package violating
+
+import (
+	"time"
+
+	"tokencmp/internal/mem"
+	"tokencmp/internal/network"
+	"tokencmp/internal/sim"
+)
+
+type Ctrl struct {
+	net     *network.Network
+	eng     *sim.Engine
+	last    *network.Message
+	pending map[mem.Block]int
+}
+
+// Recv violates msgown: it retains and then frees the network-owned
+// delivery.
+func (c *Ctrl) Recv(m *network.Message) {
+	c.last = m
+	c.net.Free(m)
+}
+
+// retryAll violates simdet: it sends in map-iteration order.
+func (c *Ctrl) retryAll() {
+	for b := range c.pending {
+		c.net.SendNew(network.Message{Block: b})
+	}
+}
+
+// clock violates simdet: wall-clock time in simulation code.
+func (c *Ctrl) clock() int64 {
+	return time.Now().UnixNano()
+}
+
+// startAll violates schedalloc: a per-iteration closure capturing the
+// loop variable.
+func (c *Ctrl) startAll(blocks []mem.Block) {
+	for _, b := range blocks {
+		c.eng.Schedule(sim.NS(1), func() {
+			c.pending[b]++
+		})
+	}
+}

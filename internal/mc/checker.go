@@ -276,7 +276,7 @@ func CheckOpt(m Model, opt Options) *Result {
 		limit = 5_000_000
 	}
 	pool := runner.New(opt.Jobs)
-	start := time.Now()
+	start := time.Now() //simlint:ignore simdet wall-clock states/sec throughput: measures the checker, not the model
 	res := &Result{Model: m.Name()}
 
 	var sym *Symmetry

@@ -1,6 +1,8 @@
 package token
 
 import (
+	"slices"
+
 	"tokencmp/internal/mem"
 	"tokencmp/internal/topo"
 )
@@ -151,12 +153,14 @@ func (t *ArbTable) Active(b mem.Block) (Entry, bool) {
 	return e, ok
 }
 
-// Blocks lists blocks with activated requests.
+// Blocks lists blocks with activated requests, in ascending block
+// order so audit passes visit them deterministically.
 func (t *ArbTable) Blocks() []mem.Block {
 	out := make([]mem.Block, 0, len(t.active))
 	for b := range t.active {
 		out = append(out, b)
 	}
+	slices.Sort(out)
 	return out
 }
 

@@ -3,6 +3,7 @@ package tokencmp
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"tokencmp/internal/cache"
 	"tokencmp/internal/cpu"
@@ -350,10 +351,21 @@ func (c *L1Ctrl) deactivatePersistent(b mem.Block) {
 }
 
 // recheckMarked re-attempts persistent issue for transactions gated by
-// the marking mechanism (called when deactivations arrive).
+// the marking mechanism (called when deactivations arrive). Candidates
+// are issued in block order: issuing sends arbiter requests, so map
+// iteration order must not reach the wire (simlint: simdet).
 func (c *L1Ctrl) recheckMarked() {
+	var blocks []mem.Block
 	for b, txn := range c.txns {
 		if txn.waitingMark && !c.dtable.HasMarked(b) {
+			blocks = append(blocks, b)
+		}
+	}
+	slices.Sort(blocks)
+	for _, b := range blocks {
+		// Re-check under the sorted order: an earlier issue may have
+		// changed the marking state.
+		if txn := c.txns[b]; txn != nil && txn.waitingMark && !c.dtable.HasMarked(b) {
 			c.issuePersistent(b, txn)
 		}
 	}

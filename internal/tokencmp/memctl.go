@@ -2,6 +2,7 @@ package tokencmp
 
 import (
 	"fmt"
+	"slices"
 
 	"tokencmp/internal/mem"
 	"tokencmp/internal/network"
@@ -65,12 +66,14 @@ func (c *MemCtrl) stateFor(b mem.Block) *token.State {
 	return s
 }
 
-// Touched lists blocks that have materialized state (for audits).
+// Touched lists blocks that have materialized state, in ascending
+// block order so audit passes visit them deterministically.
 func (c *MemCtrl) Touched() []mem.Block {
 	out := make([]mem.Block, 0, len(c.store))
 	for b := range c.store {
 		out = append(out, b)
 	}
+	slices.Sort(out)
 	return out
 }
 
