@@ -16,6 +16,7 @@ func main() {
 		barriers = flag.Int("barriers", 20, "barrier rounds")
 		seeds    = flag.Int("seeds", 3, "perturbed runs per configuration")
 		jobs     = flag.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU)")
+		ctrs     = flag.Bool("counters", false, "print per-protocol event-counter totals")
 	)
 	flag.Parse()
 
@@ -35,4 +36,7 @@ func main() {
 		os.Exit(1)
 	}
 	table.Render(os.Stdout)
+	if *ctrs {
+		table.RenderCounters(os.Stdout)
+	}
 }

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+func distReport(runs int, benches ...MergedBenchmark) *MergedReport {
+	return &MergedReport{Schema: distSchema, Runs: runs, Benchmarks: benches}
+}
+
+func singleRun(name string, metrics map[string]float64) *Report {
+	return &Report{Benchmarks: []Benchmark{{Name: name, Metrics: metrics}}}
+}
+
+func TestMergeEmptyInput(t *testing.T) {
+	if _, err := mergeReports(nil); err == nil {
+		t.Fatal("merge of zero artifacts should error, got nil")
+	}
+}
+
+// TestMergePoolsMoments checks the pooled mean/stddev against a direct
+// computation over the underlying samples.
+func TestMergePoolsMoments(t *testing.T) {
+	samples := []float64{100, 110, 130}
+	reps := make([]*MergedReport, len(samples))
+	for i, v := range samples {
+		reps[i] = toMerged(singleRun("Lock", map[string]float64{"ns/op": v}))
+	}
+	merged, err := mergeReports(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Runs != 3 {
+		t.Errorf("Runs = %d, want 3", merged.Runs)
+	}
+	d := merged.Benchmarks[0].Metrics["ns/op"]
+	// mean 113.333..., sample stddev sqrt(((-13.33)^2+(-3.33)^2+16.67^2)/2)
+	wantMean := (100.0 + 110 + 130) / 3
+	var m2 float64
+	for _, v := range samples {
+		m2 += (v - wantMean) * (v - wantMean)
+	}
+	wantStd := math.Sqrt(m2 / 2)
+	if d.N != 3 || math.Abs(d.Mean-wantMean) > 1e-9 || math.Abs(d.Std-wantStd) > 1e-9 {
+		t.Errorf("pooled dist = %+v, want n=3 mean=%g std=%g", d, wantMean, wantStd)
+	}
+	if d.Min != 100 || d.Max != 130 {
+		t.Errorf("pooled min/max = %g/%g, want 100/130", d.Min, d.Max)
+	}
+}
+
+// TestMergeDeterministicOrder pins that merged benchmarks come out
+// sorted by name regardless of input order.
+func TestMergeDeterministicOrder(t *testing.T) {
+	a := toMerged(&Report{Benchmarks: []Benchmark{
+		{Name: "Zeta", Metrics: map[string]float64{"ns/op": 1}},
+		{Name: "Alpha", Metrics: map[string]float64{"ns/op": 2}},
+	}})
+	merged, err := mergeReports([]*MergedReport{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Benchmarks[0].Name != "Alpha" || merged.Benchmarks[1].Name != "Zeta" {
+		t.Errorf("benchmarks not sorted: %q, %q", merged.Benchmarks[0].Name, merged.Benchmarks[1].Name)
+	}
+}
+
+// TestCompareDistSingleRunDegenerateStddev: a one-run baseline has
+// std 0, so the sigma floor must carry the gate — tiny jitter passes,
+// a real step fails.
+func TestCompareDistSingleRunDegenerateStddev(t *testing.T) {
+	base := toMerged(singleRun("Lock", map[string]float64{"ns/op": 1000}))
+	// Floor = 5% of 1000 = 50; gate at 3 sigma = +150.
+	jitter := singleRun("Lock", map[string]float64{"ns/op": 1040})
+	deltas, _, dropped := compareDist(base, jitter, 3, 5)
+	if len(dropped) != 0 || len(deltas) != 1 || deltas[0].regression {
+		t.Errorf("4%% jitter over degenerate baseline flagged: %+v dropped=%v", deltas, dropped)
+	}
+	step := singleRun("Lock", map[string]float64{"ns/op": 1200})
+	deltas, _, _ = compareDist(base, step, 3, 5)
+	if !deltas[0].regression {
+		t.Errorf("20%% step over degenerate baseline not flagged: %+v", deltas[0])
+	}
+}
+
+// TestCompareDistExactlyAtKSigma: a value landing exactly on the
+// k-sigma boundary passes; one epsilon past it fails. Both gated
+// directions are covered (ns/op up, states/sec down).
+func TestCompareDistExactlyAtKSigma(t *testing.T) {
+	base := distReport(5, MergedBenchmark{Name: "Lock", Metrics: map[string]Dist{
+		"ns/op":      {N: 5, Mean: 1000, Std: 100, Min: 900, Max: 1100},
+		"states/sec": {N: 5, Mean: 5000, Std: 200, Min: 4800, Max: 5200},
+	}})
+	// 2 sigma, floor small enough (1% of mean < std) not to interfere.
+	at := singleRun("Lock", map[string]float64{"ns/op": 1200, "states/sec": 4600})
+	deltas, _, _ := compareDist(base, at, 2, 1)
+	for _, d := range deltas {
+		if d.regression {
+			t.Errorf("%s exactly at 2 sigma flagged as regression: %+v", d.metric, d)
+		}
+	}
+	past := singleRun("Lock", map[string]float64{"ns/op": 1200.001, "states/sec": 4599.999})
+	deltas, _, _ = compareDist(base, past, 2, 1)
+	for _, d := range deltas {
+		if !d.regression {
+			t.Errorf("%s just past 2 sigma not flagged: %+v", d.metric, d)
+		}
+	}
+}
+
+// TestCompareDistDroppedMetric: a gated metric present in the baseline
+// but missing (or NaN) in the new run must fail the gate, exactly like
+// the plain compare path.
+func TestCompareDistDroppedMetric(t *testing.T) {
+	base := distReport(3, MergedBenchmark{Name: "Check", Metrics: map[string]Dist{
+		"ns/op":      {N: 3, Mean: 1000, Std: 10, Min: 990, Max: 1010},
+		"states/sec": {N: 3, Mean: 5000, Std: 50, Min: 4950, Max: 5050},
+	}})
+	missing := singleRun("Check", map[string]float64{"ns/op": 1000})
+	_, _, dropped := compareDist(base, missing, 3, 5)
+	if len(dropped) != 1 || dropped[0] != "Check states/sec" {
+		t.Errorf("dropped = %v, want [Check states/sec]", dropped)
+	}
+	nan := singleRun("Check", map[string]float64{"ns/op": 1000, "states/sec": math.NaN()})
+	_, _, dropped = compareDist(base, nan, 3, 5)
+	if len(dropped) != 1 || dropped[0] != "Check states/sec" {
+		t.Errorf("NaN dropped = %v, want [Check states/sec]", dropped)
+	}
+}
+
+// TestCompareDistDroppedBenchmark: a baseline benchmark absent from
+// the new artifact is dropped; a new benchmark is informational.
+func TestCompareDistDroppedBenchmark(t *testing.T) {
+	base := distReport(3,
+		MergedBenchmark{Name: "Old", Metrics: map[string]Dist{"ns/op": {N: 3, Mean: 1, Min: 1, Max: 1}}},
+		MergedBenchmark{Name: "Shared", Metrics: map[string]Dist{"ns/op": {N: 3, Mean: 1, Min: 1, Max: 1}}})
+	newRep := &Report{Benchmarks: []Benchmark{
+		{Name: "Shared", Metrics: map[string]float64{"ns/op": 1}},
+		{Name: "Brand", Metrics: map[string]float64{"ns/op": 9}},
+	}}
+	_, added, dropped := compareDist(base, newRep, 3, 5)
+	if len(dropped) != 1 || dropped[0] != "Old" {
+		t.Errorf("dropped = %v, want [Old]", dropped)
+	}
+	if len(added) != 1 || added[0] != "Brand" {
+		t.Errorf("added = %v, want [Brand]", added)
+	}
+}
+
+// TestCombineIdentities pins combine's edge cases: an empty side is the
+// identity, and combining equal-mean zero-std parts stays degenerate.
+func TestCombineIdentities(t *testing.T) {
+	d := Dist{N: 2, Mean: 10, Std: 1, Min: 9, Max: 11}
+	if got := combine(Dist{}, d); got != d {
+		t.Errorf("combine(zero, d) = %+v, want %+v", got, d)
+	}
+	if got := combine(d, Dist{}); got != d {
+		t.Errorf("combine(d, zero) = %+v, want %+v", got, d)
+	}
+	a := Dist{N: 1, Mean: 5, Std: 0, Min: 5, Max: 5}
+	got := combine(a, a)
+	if got.N != 2 || got.Mean != 5 || got.Std != 0 || got.Min != 5 || got.Max != 5 {
+		t.Errorf("combine of identical degenerate dists = %+v", got)
+	}
+}

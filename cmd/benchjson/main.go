@@ -7,13 +7,18 @@
 //
 //	go test -bench . -benchtime 1x -run '^$' . | tee bench.txt
 //	benchjson -in bench.txt -out BENCH_ci.json
+//	benchjson -out BENCH_merged.json merge RUN1.json RUN2.json ...
 //	benchjson compare BENCH_ci.json BENCH_new.json   # exit 1 on regression
 //
 // Compare prints per-metric deltas for every benchmark the two
-// artifacts share and exits non-zero when wall clock (ns/op) worsens
-// or checker throughput (states/sec) drops by more than -tolerance
-// percent — the two series that gate the perf trajectory; the other
-// metrics are informational.
+// artifacts share and exits non-zero when wall clock (ns/op) worsens or
+// checker throughput (states/sec) drops — the two series that gate the
+// perf trajectory; the other metrics are informational. Against a plain
+// single-run baseline the gate is a flat -tolerance percent; against a
+// `merge`d multi-run baseline it is distribution-aware, failing only
+// values beyond -sigma standard deviations of the baseline mean (with
+// -sigma-floor percent of the mean as the minimum sigma, so a
+// degenerate distribution cannot fail on jitter).
 package main
 
 import (
@@ -243,18 +248,30 @@ func compareReports(oldRep, newRep *Report, tolerance float64) (deltas []delta, 
 	return deltas, added, dropped
 }
 
-func compareMain(oldPath, newPath string, tolerance float64) {
-	oldRep, err := loadReport(oldPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+func compareMain(oldPath, newPath string, tolerance, kSigma, sigmaFloor float64) {
 	newRep, err := loadReport(newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	deltas, added, dropped := compareReports(oldRep, newRep, tolerance)
+	var (
+		deltas         []delta
+		added, dropped []string
+		gate           string
+	)
+	if base, merr := loadAny(oldPath); merr == nil && base.Runs > 1 {
+		// Multi-run baseline: distribution-aware k-sigma gate.
+		deltas, added, dropped = compareDist(base, newRep, kSigma, sigmaFloor)
+		gate = fmt.Sprintf("%.1f sigma of the %d-run baseline", kSigma, base.Runs)
+	} else {
+		oldRep, lerr := loadReport(oldPath)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, lerr)
+			os.Exit(1)
+		}
+		deltas, added, dropped = compareReports(oldRep, newRep, tolerance)
+		gate = fmt.Sprintf("%.0f%%", tolerance)
+	}
 	fmt.Printf("%-40s %-24s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
 	regressions := 0
 	for _, d := range deltas {
@@ -272,26 +289,65 @@ func compareMain(oldPath, newPath string, tolerance float64) {
 		fmt.Printf("%-40s MISSING from the new artifact\n", name)
 	}
 	if regressions > 0 || len(dropped) > 0 {
-		fmt.Printf("\n%d regression(s) beyond %.0f%% (ns/op up or states/sec down), %d benchmark(s) missing\n",
-			regressions, tolerance, len(dropped))
+		fmt.Printf("\n%d regression(s) beyond %s (ns/op up or states/sec down), %d benchmark(s) missing\n",
+			regressions, gate, len(dropped))
 		os.Exit(1)
 	}
-	fmt.Printf("\nno regressions beyond %.0f%% (%d metrics compared)\n", tolerance, len(deltas))
+	fmt.Printf("\nno regressions beyond %s (%d metrics compared)\n", gate, len(deltas))
+}
+
+// mergeMain folds the artifact files into one distribution report.
+func mergeMain(outPath string, paths []string) {
+	reps := make([]*MergedReport, 0, len(paths))
+	for _, path := range paths {
+		rep, err := loadAny(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		reps = append(reps, rep)
+	}
+	merged, err := mergeReports(reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks, %d runs)\n", outPath, len(merged.Benchmarks), merged.Runs)
 }
 
 func main() {
 	var (
-		in        = flag.String("in", "-", "bench output file (- = stdin)")
-		out       = flag.String("out", "BENCH_ci.json", "JSON artifact path")
-		tolerance = flag.Float64("tolerance", 10, "compare mode: regression threshold in percent")
+		in         = flag.String("in", "-", "bench output file (- = stdin)")
+		out        = flag.String("out", "BENCH_ci.json", "JSON artifact path")
+		tolerance  = flag.Float64("tolerance", 10, "compare mode: regression threshold in percent (plain baseline)")
+		kSigma     = flag.Float64("sigma", 3, "compare mode: regression threshold in standard deviations (merged baseline)")
+		sigmaFloor = flag.Float64("sigma-floor", 5, "compare mode: minimum sigma as percent of the baseline mean (merged baseline)")
 	)
 	flag.Parse()
-	if flag.Arg(0) == "compare" {
+	switch flag.Arg(0) {
+	case "compare":
 		if flag.NArg() != 3 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson [-tolerance pct] compare OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson [-tolerance pct] [-sigma k] [-sigma-floor pct] compare OLD.json NEW.json")
 			os.Exit(2)
 		}
-		compareMain(flag.Arg(1), flag.Arg(2), *tolerance)
+		compareMain(flag.Arg(1), flag.Arg(2), *tolerance, *kSigma, *sigmaFloor)
+		return
+	case "merge":
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson [-out MERGED.json] merge RUN.json...")
+			os.Exit(2)
+		}
+		mergeMain(*out, flag.Args()[1:])
 		return
 	}
 

@@ -23,6 +23,7 @@ func main() {
 		acquires = flag.Int("acquires", 32, "acquires per processor")
 		seeds    = flag.Int("seeds", 3, "perturbed runs per point")
 		jobs     = flag.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU)")
+		ctrs     = flag.Bool("counters", false, "print per-protocol event-counter totals")
 	)
 	flag.Parse()
 
@@ -41,6 +42,9 @@ func main() {
 			os.Exit(1)
 		}
 		sweep.Render(os.Stdout, "Figure 2: Locking micro-benchmark, persistent requests only")
+		if *ctrs {
+			sweep.RenderCounters(os.Stdout)
+		}
 		fmt.Println()
 	}
 	if *mode == "transient" || *mode == "both" {
@@ -52,5 +56,8 @@ func main() {
 			os.Exit(1)
 		}
 		sweep.Render(os.Stdout, "Figure 3: Locking micro-benchmark, transient + persistent requests")
+		if *ctrs {
+			sweep.RenderCounters(os.Stdout)
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"tokencmp/internal/counters"
 	"tokencmp/internal/cpu"
 	"tokencmp/internal/experiments"
 	"tokencmp/internal/machine"
@@ -51,6 +52,7 @@ func main() {
 		seeds    = flag.Int("seeds", 1, "perturbed runs (mean ± CI when > 1)")
 		jobs     = flag.Int("jobs", 0, "concurrent runs (0 = one per CPU)")
 		check    = flag.Bool("check", false, "enable coherence monitors")
+		ctrs     = flag.Bool("counters", false, "print the event-counter table")
 		list     = flag.Bool("list", false, "list protocols and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -145,6 +147,10 @@ func main() {
 			fmt.Printf("%s traffic: %d bytes in %d messages\n",
 				lvl, res.Traffic.TotalBytes(lvl), res.Traffic.TotalMessages(lvl))
 		}
+		if *ctrs {
+			fmt.Println("event counters:")
+			counters.Fprint(os.Stdout, res.Counters)
+		}
 		return
 	}
 
@@ -153,9 +159,11 @@ func main() {
 	var traffic stats.Traffic
 	var misses, persistent, events, totalAcq uint64
 	violations := 0
+	allCtrs := map[string]uint64{}
 	for _, r := range runs {
 		runtime.Add(float64(r.res.Runtime) / float64(sim.Nanosecond))
 		traffic.Merge(&r.res.Traffic)
+		counters.MergeInto(allCtrs, r.res.Counters)
 		misses += r.res.Misses
 		persistent += r.res.Persistent
 		events += r.res.Events
@@ -174,5 +182,9 @@ func main() {
 	for _, lvl := range []stats.Level{stats.IntraCMP, stats.InterCMP} {
 		fmt.Printf("%s traffic: %d bytes in %d messages\n",
 			lvl, traffic.TotalBytes(lvl), traffic.TotalMessages(lvl))
+	}
+	if *ctrs {
+		fmt.Println("event counters (summed over all runs):")
+		counters.Fprint(os.Stdout, allCtrs)
 	}
 }

@@ -1,9 +1,10 @@
 // Command simlint is the project's static-analysis driver: it runs the
 // three analyzers that encode the simulator's load-bearing contracts —
 // msgown (the network.Message pool-ownership contract), simdet
-// (byte-identical determinism) and schedalloc (allocation-free
-// scheduling) — over `go list` package patterns and exits non-zero if
-// any finding survives the simlint:ignore directives.
+// (byte-identical determinism), schedalloc (allocation-free
+// scheduling) and ctrreg (constant event-counter names) — over
+// `go list` package patterns and exits non-zero if any finding
+// survives the simlint:ignore directives.
 //
 // Usage:
 //
@@ -30,13 +31,14 @@ import (
 
 	"tokencmp/internal/lint"
 	"tokencmp/internal/lint/analysis"
+	"tokencmp/internal/lint/ctrreg"
 	"tokencmp/internal/lint/load"
 	"tokencmp/internal/lint/msgown"
 	"tokencmp/internal/lint/schedalloc"
 	"tokencmp/internal/lint/simdet"
 )
 
-var all = []*analysis.Analyzer{msgown.Analyzer, simdet.Analyzer, schedalloc.Analyzer}
+var all = []*analysis.Analyzer{msgown.Analyzer, simdet.Analyzer, schedalloc.Analyzer, ctrreg.Analyzer}
 
 func main() {
 	var (

@@ -26,6 +26,7 @@ func main() {
 		txns  = flag.Int("txns", 30, "transactions per processor")
 		seeds = flag.Int("seeds", 3, "perturbed runs per configuration")
 		jobs  = flag.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU)")
+		ctrs  = flag.Bool("counters", false, "print per-protocol event-counter totals")
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -70,5 +71,8 @@ func main() {
 	}
 	if *what == "intra" || *what == "all" {
 		res.RenderTraffic(os.Stdout, stats.IntraCMP)
+	}
+	if *ctrs {
+		res.RenderCounters(os.Stdout)
 	}
 }

@@ -154,6 +154,7 @@ func (c *HomeCtrl) startGetS(m *network.Message) {
 			gst = grantE
 		}
 		c.Stats.MemReads++
+		c.sys.ctr.memRead.Inc()
 		req := m.Requestor
 		c.sys.Eng.Schedule(c.dataDelay(), func() {
 			c.sys.Net.SendNew(network.Message{
@@ -173,6 +174,7 @@ func (c *HomeCtrl) startGetS(m *network.Message) {
 	// A CMP owns the block: forward (possibly to the requester's own
 	// chip, whose L2 serves it from its writeback buffer in PUT races).
 	c.Stats.Fwds++
+	c.sys.ctr.fwdSent.Inc()
 	owner := c.sys.Geom.L2BankFor(hl.owner, b)
 	c.sys.Net.SendNew(network.Message{
 		Src:       c.id,
@@ -204,6 +206,7 @@ func (c *HomeCtrl) startGetM(m *network.Message) {
 		mask &^= 1 << uint(cmp)
 		acks++
 		c.Stats.Invs++
+		c.sys.ctr.invSent.Inc()
 		c.sys.Net.SendNew(network.Message{
 			Src:       c.id,
 			Dst:       c.sys.Geom.L2BankFor(cmp, b),
@@ -219,6 +222,7 @@ func (c *HomeCtrl) startGetM(m *network.Message) {
 		// Memory data (possibly redundant if the requester was a sharer,
 		// but always current); the fetch overlaps the directory lookup.
 		c.Stats.MemReads++
+		c.sys.ctr.memRead.Inc()
 		req := m.Requestor
 		c.sys.Eng.Schedule(c.dataDelay(), func() {
 			c.sys.Net.SendNew(network.Message{
@@ -247,6 +251,7 @@ func (c *HomeCtrl) startGetM(m *network.Message) {
 	default:
 		// Forward to the owner chip, which sends data to the requester.
 		c.Stats.Fwds++
+		c.sys.ctr.fwdSent.Inc()
 		c.sys.Net.SendNew(network.Message{
 			Src:       c.id,
 			Dst:       c.sys.Geom.L2BankFor(hl.owner, b),
@@ -306,6 +311,7 @@ func (c *HomeCtrl) handleWbData(m *network.Message) {
 	evictor := c.cmpOf(m.Src)
 	if m.Kind == kWbData {
 		c.Stats.MemWrites++
+		c.sys.ctr.memWrite.Inc()
 		hl.value = m.Data
 		if hl.owner == evictor {
 			hl.owner = -1

@@ -115,12 +115,14 @@ func (c *L1Ctrl) attempt(kind cpu.AccessKind, b mem.Block, store uint64, done fu
 		switch kind {
 		case cpu.Load, cpu.IFetch:
 			c.Stats.Hits++
+			c.sys.ctr.l1Hit.Inc()
 			c.cache.TouchLine(l)
 			done(s.data)
 			return
 		default: // Store, Atomic
 			if s.st == l1M || s.st == l1E {
 				c.Stats.Hits++
+				c.sys.ctr.l1Hit.Inc()
 				c.cache.TouchLine(l)
 				s.st = l1M // silent E→M upgrade
 				old := s.data
@@ -139,6 +141,7 @@ func (c *L1Ctrl) attempt(kind cpu.AccessKind, b mem.Block, store uint64, done fu
 	// Miss (or S-upgrade). Reserve the line now so the victim's writeback
 	// overlaps the request.
 	c.Stats.Misses++
+	c.sys.ctr.l1Miss.Inc()
 	line, ok := c.reserve(b)
 	if !ok {
 		// All ways pinned (cannot happen with one outstanding txn, but be
@@ -187,6 +190,7 @@ func (c *L1Ctrl) evict(b mem.Block, st l1Line) {
 		return
 	}
 	c.Stats.Writebacks++
+	c.sys.ctr.l1Writeback.Inc()
 	c.wb[b] = &wbEntry{data: st.data, dirty: st.dirty, valid: true}
 	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
@@ -314,6 +318,7 @@ func (c *L1Ctrl) handleFwdGetS(m *network.Message) bool {
 		// Migratory sharing: invalidate our copy, pass read/write access.
 		migratory = true
 		c.Stats.Migratory++
+		c.sys.ctr.migratory.Inc()
 		c.cache.Invalidate(b)
 	case l != nil:
 		l.st = l1S // degrade; L2 becomes the on-chip owner of the data
@@ -406,6 +411,7 @@ func (c *L1Ctrl) handleWbGrant(m *network.Message) {
 	}
 	delete(c.wb, b)
 	if !w.valid {
+		c.sys.ctr.wbRace.Inc()
 		c.sys.Net.SendNew(network.Message{
 			Src:   c.id,
 			Dst:   m.Src,

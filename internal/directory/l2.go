@@ -324,6 +324,7 @@ func (c *L2Ctrl) grantLocal(b mem.Block, txn *l2Txn) {
 		// Migratory read: pass exclusive ownership.
 		gst = grantM
 		c.Stats.MigratoryGrants++
+		c.sys.ctr.migratory.Inc()
 		line.ownerL1 = req
 		line.cs = csM
 	case (line.cs == csM || line.cs == csE) && line.ownerL1 == topo.None && line.sharers == 0:
@@ -436,6 +437,7 @@ func (c *L2Ctrl) finishRecallIfDone(v mem.Block, srv *extSrv) {
 	owned := st.cs == csM || st.cs == csE || st.cs == csO
 	if owned {
 		c.Stats.Writebacks++
+		c.sys.ctr.l2Writeback.Inc()
 		c.wb[v] = &wbEntry{data: srv.data, dirty: srv.dirty, valid: true}
 		c.sys.Net.SendNew(network.Message{
 			Src:   c.id,
@@ -762,6 +764,7 @@ func (c *L2Ctrl) finishExtIfDone(b mem.Block, srv *extSrv) {
 			// Migratory chip-to-chip transfer: requester gets M; we
 			// invalidate entirely.
 			c.Stats.MigratoryGrants++
+			c.sys.ctr.migratory.Inc()
 			c.sys.Net.SendNew(network.Message{
 				Src:       c.id,
 				Dst:       srv.replyTo,
@@ -947,6 +950,7 @@ func (c *L2Ctrl) handleWbGrant(m *network.Message) {
 	}
 	delete(c.wb, b)
 	if !w.valid {
+		c.sys.ctr.wbRace.Inc()
 		c.sys.Net.SendNew(network.Message{
 			Src:   c.id,
 			Dst:   m.Src,

@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 
+	"tokencmp/internal/counters"
 	"tokencmp/internal/cpu"
 	"tokencmp/internal/machine"
 	"tokencmp/internal/runner"
@@ -97,6 +98,9 @@ type Cell struct {
 	Traffic stats.Traffic
 	Misses  uint64
 	Persist uint64
+	// Counters accumulates the uniform event-counter snapshots of every
+	// seed run in the cell (summed, like Misses).
+	Counters map[string]uint64
 }
 
 // cellTask describes one (protocol, configuration) cell; runCells runs
@@ -136,13 +140,14 @@ func runCells(tasks []cellTask, jobs int) ([]*Cell, error) {
 	}
 	cells := make([]*Cell, len(tasks))
 	for ti := range tasks {
-		c := &Cell{}
+		c := &Cell{Counters: map[string]uint64{}}
 		for s := offsets[ti]; s < offsets[ti+1]; s++ {
 			res := &results[s]
 			c.Runtime.Add(float64(res.Runtime) / float64(sim.Nanosecond))
 			c.Traffic.Merge(&res.Traffic)
 			c.Misses += res.Misses
 			c.Persist += res.Persistent
+			counters.MergeInto(c.Counters, res.Counters)
 		}
 		cells[ti] = c
 	}

@@ -99,6 +99,7 @@ func popWbAndReply(sys *System, src topo.NodeID, wb map[mem.Block][]*wbEntry, gm
 		wb[b] = q[1:]
 	}
 	if !w.valid {
+		sys.ctr.wbRace.Inc()
 		sys.Net.SendNew(network.Message{
 			Src:   src,
 			Dst:   gm.Src,
@@ -204,12 +205,14 @@ func (c *L1Ctrl) attempt(kind cpu.AccessKind, b mem.Block, store uint64, done fu
 		switch kind {
 		case cpu.Load, cpu.IFetch:
 			c.Stats.Hits++
+			c.sys.ctr.l1Hit.Inc()
 			c.cache.TouchLine(l)
 			done(s.data)
 			return
 		default: // Store, Atomic
 			if s.st == hM || s.st == hE {
 				c.Stats.Hits++
+				c.sys.ctr.l1Hit.Inc()
 				c.cache.TouchLine(l)
 				s.st = hM // silent E→M upgrade
 				old := s.data
@@ -229,6 +232,7 @@ func (c *L1Ctrl) attempt(kind cpu.AccessKind, b mem.Block, store uint64, done fu
 	// Miss (or upgrade). Reserve the line now so the victim's writeback
 	// overlaps the broadcast.
 	c.Stats.Misses++
+	c.sys.ctr.l1Miss.Inc()
 	line, ok := c.reserve(b)
 	if !ok {
 		// All ways pinned (cannot happen with one outstanding txn, but
@@ -278,6 +282,7 @@ func (c *L1Ctrl) evict(b mem.Block, st l1Line) {
 		return
 	}
 	c.Stats.Writebacks++
+	c.sys.ctr.l1Writeback.Inc()
 	c.wb[b] = append(c.wb[b], &wbEntry{data: st.data, dirty: st.dirty, excl: st.st == hM, valid: true})
 	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
@@ -396,6 +401,7 @@ func (c *L1Ctrl) maybeComplete(b mem.Block, txn *l1Txn) {
 			// Migratory handoff: the modified owner invalidated itself
 			// and passed write permission with the data.
 			c.Stats.Migratory++
+			c.sys.ctr.migratory.Inc()
 			s.st = hM
 			s.dirty = true
 		case fromWb:
@@ -508,6 +514,7 @@ func (c *L1Ctrl) invalidate(b mem.Block, l *cache.Line[l1Line]) {
 }
 
 func (c *L1Ctrl) respondData(m *network.Message, data uint64, dirty bool, aux int) {
+	c.sys.ctr.probeData.Inc()
 	c.sys.Net.SendNew(network.Message{
 		Src:     c.id,
 		Dst:     m.Requestor,
@@ -522,6 +529,7 @@ func (c *L1Ctrl) respondData(m *network.Message, data uint64, dirty bool, aux in
 }
 
 func (c *L1Ctrl) respondAck(m *network.Message, aux int) {
+	c.sys.ctr.probeAck.Inc()
 	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   m.Requestor,

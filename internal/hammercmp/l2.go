@@ -135,6 +135,7 @@ func (c *L2Ctrl) handleProbe(m *network.Message) {
 }
 
 func (c *L2Ctrl) respondData(m *network.Message, data uint64, dirty bool) {
+	c.sys.ctr.probeData.Inc()
 	c.sys.Net.SendNew(network.Message{
 		Src:     c.id,
 		Dst:     m.Requestor,
@@ -149,6 +150,7 @@ func (c *L2Ctrl) respondData(m *network.Message, data uint64, dirty bool) {
 }
 
 func (c *L2Ctrl) respondAck(m *network.Message) {
+	c.sys.ctr.probeAck.Inc()
 	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,
 		Dst:   m.Requestor,
@@ -199,6 +201,7 @@ func (c *L2Ctrl) handleWbData(m *network.Message) {
 // (three-phase, probeable from the buffer while in flight).
 func (c *L2Ctrl) spill(v mem.Block, st l2Line) {
 	c.Stats.Writebacks++
+	c.sys.ctr.l2Writeback.Inc()
 	c.wb[v] = append(c.wb[v], &wbEntry{data: st.data, dirty: st.dirty, excl: st.st == hM, valid: true})
 	c.sys.Net.SendNew(network.Message{
 		Src:   c.id,

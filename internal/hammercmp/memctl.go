@@ -85,6 +85,7 @@ func (c *MemCtrl) handle(m *network.Message) {
 		c.close(m, kGetS, kGetM)
 	case kWbData:
 		c.Stats.MemWrites++
+		c.sys.ctr.memWrite.Inc()
 		c.mem[m.Block] = m.Data
 		c.close(m, kPut)
 	case kWbCancel:
@@ -132,6 +133,7 @@ func (c *MemCtrl) startBroadcast(m *network.Message) {
 			continue
 		}
 		c.Stats.ProbesSent++
+		c.sys.ctr.probeSent.Inc()
 		c.sys.Net.SendNew(network.Message{
 			Src:       c.id,
 			Dst:       id,
@@ -145,6 +147,7 @@ func (c *MemCtrl) startBroadcast(m *network.Message) {
 	// block is busy (writebacks serialize behind this transaction), so
 	// reading it after the array latency is exact.
 	c.Stats.MemReads++
+	c.sys.ctr.memRead.Inc()
 	requestor := m.Requestor
 	c.sys.Eng.Schedule(c.sys.Cfg.DRAMLatency, func() {
 		c.sys.Net.SendNew(network.Message{

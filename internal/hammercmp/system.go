@@ -1,6 +1,7 @@
 package hammercmp
 
 import (
+	"tokencmp/internal/counters"
 	"tokencmp/internal/cpu"
 	"tokencmp/internal/network"
 	"tokencmp/internal/sim"
@@ -13,6 +14,9 @@ type System struct {
 	Net  *network.Network
 	Cfg  Config
 	Geom topo.Geometry
+
+	Ctrs *counters.Set
+	ctr  *ctrs
 
 	L1Ds [][]*L1Ctrl
 	L1Is [][]*L1Ctrl
@@ -33,7 +37,10 @@ func NewSystem(eng *sim.Engine, cfg Config, netCfg network.Config) *System {
 		Geom:   g,
 		Net:    network.New(eng, g, netCfg),
 		caches: g.AllCaches(),
+		Ctrs:   counters.NewSet(),
 	}
+	s.ctr = newCtrs(s.Ctrs)
+	s.Net.WireCounters(s.Ctrs)
 	s.L1Ds = make([][]*L1Ctrl, g.CMPs)
 	s.L1Is = make([][]*L1Ctrl, g.CMPs)
 	s.L2s = make([][]*L2Ctrl, g.CMPs)
@@ -70,6 +77,9 @@ func (s *System) Ports(globalProc int) (data, inst cpu.MemPort) {
 
 // Name reports the protocol name.
 func (s *System) Name() string { return s.Cfg.Name() }
+
+// Counters exposes the machine-wide uniform event-counter registry.
+func (s *System) Counters() *counters.Set { return s.Ctrs }
 
 // Misses totals L1 misses.
 func (s *System) Misses() uint64 {

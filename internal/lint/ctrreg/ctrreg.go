@@ -1,0 +1,69 @@
+// Package ctrreg implements the simlint counter-registration analyzer.
+//
+// The uniform event-counter registry (tokencmp/internal/counters) keeps
+// its namespace greppable and deterministic by requiring every
+// registration name to be a compile-time string constant — the named
+// constants exported by the counters package, or a local constant for a
+// protocol-private counter. A name computed at runtime (fmt.Sprintf,
+// concatenation with a variable, a function result) would fracture the
+// namespace per run or per configuration, silently break cross-protocol
+// claim comparisons that match counters by name, and make the counter
+// set undiscoverable by inspection. ctrreg flags every call to
+// (*counters.Set).Counter — and the convenience lookup Value — whose
+// name argument the type checker cannot fold to a constant.
+//
+// The analyzer applies to tokencmp/internal/... packages only (the
+// analyzers' own testdata excepted), like the other simlint checks.
+package ctrreg
+
+import (
+	"go/ast"
+	"strings"
+
+	"tokencmp/internal/lint/analysis"
+	"tokencmp/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctrreg",
+	Doc:  "require counter registration names to be compile-time string constants",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, "tokencmp/internal/") {
+		return nil, nil
+	}
+	if strings.HasPrefix(path, "tokencmp/internal/lint") && !strings.Contains(path, "/testdata/") {
+		return nil, nil
+	}
+	// The registry itself manipulates names generically (iteration,
+	// printing); the constant-name contract binds its callers.
+	if path == lintutil.CountersPath {
+		return nil, nil
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lintutil.Callee(pass.TypesInfo, call)
+			if fn == nil || len(call.Args) == 0 {
+				return true
+			}
+			if !lintutil.IsMethod(fn, lintutil.CountersPath, "Set", "Counter") &&
+				!lintutil.IsMethod(fn, lintutil.CountersPath, "Set", "Value") {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; !ok || tv.Value == nil {
+				pass.Reportf(call.Args[0].Pos(),
+					"counter name passed to Set.%s is not a compile-time constant — use a named constant (see tokencmp/internal/counters) so the counter namespace stays uniform and greppable", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package ctrreg_test
+
+import (
+	"testing"
+
+	"tokencmp/internal/lint/analysistest"
+	"tokencmp/internal/lint/ctrreg"
+)
+
+func TestCtrreg(t *testing.T) {
+	analysistest.Run(t, ctrreg.Analyzer, "./testdata/src/ctrregtest")
+}

@@ -1,0 +1,37 @@
+// Package ctrregtest is the ctrreg analysistest corpus. Its import
+// path contains /testdata/, which opts it into the analyzer's
+// internal-packages scope; it compiles against the real counters types
+// but is never linked into anything.
+package ctrregtest
+
+import (
+	"fmt"
+
+	"tokencmp/internal/counters"
+)
+
+// localCounter is a protocol-private name: local constants are fine.
+const localCounter = "test.local"
+
+type Ctrl struct {
+	cs *counters.Set
+}
+
+// registerConstants uses the sanctioned forms: exported name constants,
+// local constants, and untyped literals.
+func (c *Ctrl) registerConstants() {
+	c.cs.Counter(counters.L1Miss).Inc()
+	c.cs.Counter(localCounter).Inc()
+	c.cs.Counter("test.literal").Add(2)
+	_ = c.cs.Value(counters.L1Miss)
+	_ = c.cs.Value("test.literal" + ".sub") // constant folding still applies
+}
+
+// registerDynamic computes names at runtime: every form is flagged.
+func (c *Ctrl) registerDynamic(bank int, suffix string) {
+	c.cs.Counter(fmt.Sprintf("bank%d.miss", bank)).Inc() // want `not a compile-time constant`
+	c.cs.Counter(localCounter + suffix).Inc()            // want `not a compile-time constant`
+	_ = c.cs.Value(name())                               // want `not a compile-time constant`
+}
+
+func name() string { return "test.dynamic" }

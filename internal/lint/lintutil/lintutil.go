@@ -11,9 +11,10 @@ import (
 
 // Paths of the packages whose contracts the analyzers encode.
 const (
-	NetworkPath = "tokencmp/internal/network"
-	SimPath     = "tokencmp/internal/sim"
-	StatsPath   = "tokencmp/internal/stats"
+	CountersPath = "tokencmp/internal/counters"
+	NetworkPath  = "tokencmp/internal/network"
+	SimPath      = "tokencmp/internal/sim"
+	StatsPath    = "tokencmp/internal/stats"
 )
 
 // Callee resolves the statically-known function or method called by

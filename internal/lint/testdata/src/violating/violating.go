@@ -6,8 +6,10 @@
 package violating
 
 import (
+	"fmt"
 	"time"
 
+	"tokencmp/internal/counters"
 	"tokencmp/internal/mem"
 	"tokencmp/internal/network"
 	"tokencmp/internal/sim"
@@ -18,6 +20,7 @@ type Ctrl struct {
 	eng     *sim.Engine
 	last    *network.Message
 	pending map[mem.Block]int
+	cs      *counters.Set
 }
 
 // Recv violates msgown: it retains and then frees the network-owned
@@ -37,6 +40,11 @@ func (c *Ctrl) retryAll() {
 // clock violates simdet: wall-clock time in simulation code.
 func (c *Ctrl) clock() int64 {
 	return time.Now().UnixNano()
+}
+
+// register violates ctrreg: a counter name computed at runtime.
+func (c *Ctrl) register(bank int) {
+	c.cs.Counter(fmt.Sprintf("bank%d.miss", bank)).Inc()
 }
 
 // startAll violates schedalloc: a per-iteration closure capturing the

@@ -10,6 +10,7 @@ package machine
 import (
 	"fmt"
 
+	"tokencmp/internal/counters"
 	"tokencmp/internal/cpu"
 	"tokencmp/internal/directory"
 	"tokencmp/internal/hammercmp"
@@ -33,6 +34,12 @@ type Protocol interface {
 type tokenAuditor interface {
 	TokenAudit() error
 	PersistentRequests() uint64
+}
+
+// counterSource is implemented by every system that carries the uniform
+// event-counter registry (all four protocol stacks do).
+type counterSource interface {
+	Counters() *counters.Set
 }
 
 // Config selects and parameterizes a machine.
@@ -137,6 +144,15 @@ func (m *Machine) Traffic() stats.Traffic {
 	return m.net.Traffic
 }
 
+// Counters returns the machine-wide uniform event-counter snapshot
+// (nil if the protocol carries no registry).
+func (m *Machine) Counters() map[string]uint64 {
+	if cs, ok := m.Proto.(counterSource); ok {
+		return cs.Counters().Snapshot()
+	}
+	return nil
+}
+
 // PersistentRequests reports substrate persistent requests (0 for
 // non-token protocols).
 func (m *Machine) PersistentRequests() uint64 {
@@ -188,6 +204,9 @@ type Result struct {
 	Misses     uint64
 	Persistent uint64
 	Events     uint64
+	// Counters is the uniform event-counter snapshot at the end of the
+	// run (nil for protocols without a registry).
+	Counters map[string]uint64
 }
 
 // Run executes one program per processor to completion and returns the
@@ -221,7 +240,7 @@ func (m *Machine) Run(progs []cpu.Program, limit uint64) (Result, error) {
 	}
 	ok := m.Eng.RunUntil(allDone, limit)
 	res := Result{Runtime: m.Eng.Now(), Traffic: m.Traffic(), Misses: m.Proto.Misses(),
-		Persistent: m.PersistentRequests(), Events: m.Eng.Executed}
+		Persistent: m.PersistentRequests(), Events: m.Eng.Executed, Counters: m.Counters()}
 	if !ok {
 		return res, fmt.Errorf("machine: %s did not finish (events=%d, pending=%d, now=%v)",
 			m.Proto.Name(), m.Eng.Executed, m.Eng.Pending(), m.Eng.Now())

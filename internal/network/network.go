@@ -20,6 +20,7 @@ package network
 import (
 	"fmt"
 
+	"tokencmp/internal/counters"
 	"tokencmp/internal/mem"
 	"tokencmp/internal/sim"
 	"tokencmp/internal/stats"
@@ -115,6 +116,12 @@ type Network struct {
 	// Traffic accumulates the Figure 7 byte counts.
 	Traffic stats.Traffic
 
+	// Uniform event-counter handles, pre-resolved by WireCounters so the
+	// send path pays one nil check and plain word adds (no map lookups).
+	ctrMsgIntra, ctrMsgInter     *counters.Counter
+	ctrBytesIntra, ctrBytesInter *counters.Counter
+	ctrHopIntra, ctrHopInter     *counters.Counter
+
 	// InFlight counts undelivered messages; the coherence monitor uses it
 	// and tests use it to detect quiescence.
 	InFlight int
@@ -209,6 +216,17 @@ func (n *Network) EachInFlight(fn func(b mem.Block, tokens, owners int)) {
 			}
 		}
 	}
+}
+
+// WireCounters registers the network's uniform event counters in cs
+// (the machine-wide registry) and keeps the handles for the send path.
+func (n *Network) WireCounters(cs *counters.Set) {
+	n.ctrMsgIntra = cs.Counter(counters.NetMsgIntraCMP)
+	n.ctrMsgInter = cs.Counter(counters.NetMsgInterCMP)
+	n.ctrBytesIntra = cs.Counter(counters.NetBytesIntraCMP)
+	n.ctrBytesInter = cs.Counter(counters.NetBytesInterCMP)
+	n.ctrHopIntra = cs.Counter(counters.NetHopIntraCMP)
+	n.ctrHopInter = cs.Counter(counters.NetHopInterCMP)
 }
 
 // Attach registers the endpoint for id.
@@ -315,13 +333,31 @@ func (n *Network) Send(m *Message) {
 	// global side, so their hops add no on-chip traffic.
 	if lp.Level == stats.IntraCMP {
 		n.Traffic.Add(stats.IntraCMP, m.Class, m.Size)
+		if n.ctrMsgIntra != nil {
+			n.ctrMsgIntra.Inc()
+			n.ctrBytesIntra.Add(uint64(m.Size))
+			n.ctrHopIntra.Inc()
+		}
 	} else {
 		n.Traffic.Add(stats.InterCMP, m.Class, m.Size)
+		if n.ctrMsgInter != nil {
+			n.ctrMsgInter.Inc()
+			n.ctrBytesInter.Add(uint64(m.Size))
+			n.ctrHopInter.Inc()
+		}
 		if n.Geom.KindOf(m.Src) != topo.Mem {
 			n.Traffic.Add(stats.IntraCMP, m.Class, m.Size)
+			if n.ctrHopIntra != nil {
+				n.ctrHopIntra.Inc()
+				n.ctrBytesIntra.Add(uint64(m.Size))
+			}
 		}
 		if n.Geom.KindOf(m.Dst) != topo.Mem {
 			n.Traffic.Add(stats.IntraCMP, m.Class, m.Size)
+			if n.ctrHopIntra != nil {
+				n.ctrHopIntra.Inc()
+				n.ctrBytesIntra.Add(uint64(m.Size))
+			}
 		}
 	}
 	n.InFlight++

@@ -6,6 +6,7 @@
 package perfectl2
 
 import (
+	"tokencmp/internal/counters"
 	"tokencmp/internal/cpu"
 	"tokencmp/internal/mem"
 	"tokencmp/internal/sim"
@@ -40,6 +41,9 @@ type System struct {
 	ports      []*port
 	Hits       uint64
 	MissesToL2 uint64
+
+	Ctrs            *counters.Set
+	ctrHit, ctrMiss *counters.Counter
 }
 
 type l1Key struct {
@@ -56,7 +60,10 @@ func NewSystem(eng *sim.Engine, cfg Config) *System {
 		values:  make(map[mem.Block]uint64),
 		touched: make(map[l1Key]uint64),
 		epoch:   make(map[mem.Block]uint64),
+		Ctrs:    counters.NewSet(),
 	}
+	s.ctrHit = s.Ctrs.Counter(counters.L1Hit)
+	s.ctrMiss = s.Ctrs.Counter(counters.L1Miss)
 	n := cfg.Geom.TotalProcs()
 	s.ports = make([]*port, 2*n)
 	for p := 0; p < n; p++ {
@@ -77,6 +84,9 @@ func (s *System) Name() string { return "PerfectL2" }
 // Misses reports accesses that left the L1.
 func (s *System) Misses() uint64 { return s.MissesToL2 }
 
+// Counters exposes the machine-wide uniform event-counter registry.
+func (s *System) Counters() *counters.Set { return s.Ctrs }
+
 type port struct {
 	sys   *System
 	proc  int
@@ -94,9 +104,11 @@ func (p *port) Access(kind cpu.AccessKind, addr mem.Addr, store uint64, done fun
 	if s.touched[key] < s.epoch[b]+1 {
 		// Not L1-resident: shared-L2 hit.
 		s.MissesToL2++
+		s.ctrMiss.Inc()
 		lat += 2*s.Cfg.LinkLat + s.Cfg.L2Latency
 	} else {
 		s.Hits++
+		s.ctrHit.Inc()
 	}
 	s.Eng.Schedule(lat, func() {
 		var val uint64

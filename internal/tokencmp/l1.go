@@ -148,11 +148,13 @@ func (c *L1Ctrl) attempt(kind cpu.AccessKind, b mem.Block, store uint64, done fu
 	s := c.lookup(b)
 	if sufficient(s, kind, c.sys.Cfg.T) {
 		c.Stats.Hits++
+		c.sys.ctr.l1Hit.Inc()
 		c.cache.Touch(b)
 		done(c.apply(kind, s, store))
 		return
 	}
 	c.Stats.Misses++
+	c.sys.ctr.l1Miss.Inc()
 	txn := &l1Txn{kind: kind, store: store, done: done, issuedAt: c.sys.Eng.Now()}
 	if kind == cpu.Load || kind == cpu.IFetch {
 		txn.reqKind = token.ReqRead
@@ -213,8 +215,10 @@ func (c *L1Ctrl) hold(s *token.State) {
 func (c *L1Ctrl) sendTransient(b mem.Block, txn *l1Txn) {
 	txn.transientsSent++
 	c.Stats.TransientsSent++
+	c.sys.ctr.reqTransient.Inc()
 	if txn.transientsSent > 1 {
 		c.Stats.Retries++
+		c.sys.ctr.reqRetry.Inc()
 	}
 	tmpl := &network.Message{
 		Src:       c.id,
@@ -241,6 +245,7 @@ func (c *L1Ctrl) onTimeout(b mem.Block, seq int) {
 		return
 	}
 	c.Stats.Timeouts++
+	c.sys.ctr.reqTimeout.Inc()
 	if debugTimeout != nil {
 		debugTimeout(c, b, txn)
 	}
@@ -273,6 +278,7 @@ func (c *L1Ctrl) issuePersistent(b mem.Block, txn *l1Txn) {
 		txn.waitingMark = false
 		txn.persistentIssued = true
 		c.Stats.PersistentReqs++
+		c.sys.ctr.reqPersistent.Inc()
 		c.dtable.Insert(c.globalProc, b, txn.reqKind, c.id)
 		tmpl := &network.Message{
 			Src:       c.id,
@@ -290,6 +296,7 @@ func (c *L1Ctrl) issuePersistent(b mem.Block, txn *l1Txn) {
 	// Arbiter-based activation: ask the block's home memory controller.
 	txn.persistentIssued = true
 	c.Stats.PersistentReqs++
+	c.sys.ctr.reqPersistent.Inc()
 	c.sys.Net.SendNew(network.Message{
 		Src:       c.id,
 		Dst:       c.sys.Geom.HomeMem(b),
@@ -447,6 +454,7 @@ func (c *L1Ctrl) writebackVictim(victim mem.Block, st token.State) {
 		return
 	}
 	c.Stats.WritebacksIssued++
+	c.sys.ctr.l1Writeback.Inc()
 	dst := c.sys.Geom.L2BankFor(c.cmp, victim)
 	cls := stats.WritebackControl
 	hasData := st.Owner
@@ -506,6 +514,7 @@ func (c *L1Ctrl) handleRequest(m *network.Message, external bool) bool {
 	case s.Owner && s.Tokens == T && s.Dirty && !c.sys.Cfg.DisableMigratory:
 		// Migratory sharing: hand everything to the reader.
 		c.Stats.MigratoryGrants++
+		c.sys.ctr.migratory.Inc()
 		tk, own, _, data, dirty := s.TakeAll()
 		resp = network.Message{Tokens: tk, Owner: own, HasData: true, Data: data, Dirty: dirty}
 		emptied = true

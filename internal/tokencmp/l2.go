@@ -333,6 +333,7 @@ func (c *L2Ctrl) handleExternal(m *network.Message) {
 				fwd.Dst = l1
 				c.sys.Net.SendNew(fwd)
 				c.Stats.FwdToL1s++
+				c.sys.ctr.fwdSent.Inc()
 			} else {
 				c.Stats.FilteredFwds++
 			}
@@ -343,6 +344,7 @@ func (c *L2Ctrl) handleExternal(m *network.Message) {
 		fwd.Dst = l1
 		c.sys.Net.SendNew(fwd)
 		c.Stats.FwdToL1s++
+		c.sys.ctr.fwdSent.Inc()
 	}
 }
 
@@ -350,6 +352,7 @@ func (c *L2Ctrl) handleExternal(m *network.Message) {
 // stray responses), evicting to the home memory if the set is full.
 func (c *L2Ctrl) handleWriteback(m *network.Message) {
 	c.Stats.Writebacks++
+	c.sys.ctr.l2Writeback.Inc()
 	b := m.Block
 	line, victim, vstate, evicted := c.cache.Install(b)
 	if evicted {

@@ -172,6 +172,7 @@ func (c *MemCtrl) handleRequest(m *network.Message) {
 		tmpl.Class = stats.ResponseData
 		delay = c.sys.Cfg.DRAMLatency
 		c.Stats.DataResps++
+		c.sys.ctr.memRead.Inc()
 	} else {
 		tmpl.Class = stats.InvFwdAckTokens
 	}
@@ -182,6 +183,7 @@ func (c *MemCtrl) handleRequest(m *network.Message) {
 
 func (c *MemCtrl) handleWriteback(m *network.Message) {
 	c.Stats.Writebacks++
+	c.sys.ctr.memWrite.Inc()
 	s := c.store[m.Block]
 	if s == nil {
 		// Tokens delivered to a non-home controller (should not happen,

@@ -3,6 +3,7 @@ package tokencmp
 import (
 	"fmt"
 
+	"tokencmp/internal/counters"
 	"tokencmp/internal/cpu"
 	"tokencmp/internal/mem"
 	"tokencmp/internal/network"
@@ -18,6 +19,9 @@ type System struct {
 	Net  *network.Network
 	Cfg  Config
 	Geom topo.Geometry
+
+	Ctrs *counters.Set
+	ctr  *ctrs
 
 	L1Ds [][]*L1Ctrl // [cmp][proc]
 	L1Is [][]*L1Ctrl
@@ -41,6 +45,9 @@ func NewSystem(eng *sim.Engine, cfg Config, netCfg network.Config) *System {
 		Net:  network.New(eng, g, netCfg),
 	}
 	s.allEndpoints = g.AllNodes()
+	s.Ctrs = counters.NewSet()
+	s.ctr = newCtrs(s.Ctrs)
+	s.Net.WireCounters(s.Ctrs)
 
 	s.L1Ds = make([][]*L1Ctrl, g.CMPs)
 	s.L1Is = make([][]*L1Ctrl, g.CMPs)
@@ -81,6 +88,9 @@ func (s *System) Ports(globalProc int) (data, inst cpu.MemPort) {
 
 // Name reports the variant name.
 func (s *System) Name() string { return s.Cfg.Variant.Name }
+
+// Counters exposes the machine-wide uniform event-counter registry.
+func (s *System) Counters() *counters.Set { return s.Ctrs }
 
 // caches iterates over all cache controllers' base views.
 func (s *System) eachCacheState(fn func(id topo.NodeID, b mem.Block, st *token.State)) {
