@@ -18,12 +18,14 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU)")
 		ctrs     = flag.Bool("counters", false, "print per-protocol event-counter totals")
 	)
+	faultFlags := experiments.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
 	opt.Barriers = *barriers
 	opt.Seeds = *seeds
 	opt.Jobs = *jobs
+	opt.Faults = faultFlags()
 
 	protos := []string{
 		"TokenCMP-arb0", "TokenCMP-dst0",

@@ -25,12 +25,14 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "concurrent simulation runs (0 = one per CPU)")
 		ctrs     = flag.Bool("counters", false, "print per-protocol event-counter totals")
 	)
+	faultFlags := experiments.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
 	opt.Acquires = *acquires
 	opt.Seeds = *seeds
 	opt.Jobs = *jobs
+	opt.Faults = faultFlags()
 	lockCounts := []int{2, 4, 8, 16, 32, 64, 128, 256, 512}
 
 	if *mode == "persistent" || *mode == "both" {

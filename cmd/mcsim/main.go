@@ -43,7 +43,7 @@ func main() {
 		locks    = flag.Int("locks", 32, "locking: number of locks")
 		acquires = flag.Int("acquires", 64, "locking: acquires per processor")
 		barriers = flag.Int("barriers", 20, "barrier: rounds")
-		jitter   = flag.Int64("jitter", 0, "barrier: work jitter in ns")
+		wjitter  = flag.Int64("workjitter", 0, "barrier: work jitter in ns")
 		txns     = flag.Int("txns", 40, "commercial: transactions per processor")
 		cmps     = flag.Int("cmps", 4, "CMP count")
 		procs    = flag.Int("procs", 4, "processors per CMP")
@@ -57,6 +57,7 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	faultFlags := experiments.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -85,13 +86,21 @@ func main() {
 	defer stopProf()
 
 	g := topo.NewGeometry(*cmps, *procs, *banks)
+	baseFaults := faultFlags()
 	runOne := func(s int64) (oneRun, error) {
+		faults := baseFaults
+		if faults.Enabled() {
+			// Perturb the fault seed alongside the workload seed so each
+			// run of a -seeds sweep sees an independent fault pattern.
+			faults.Seed += s - *seed
+		}
 		m, err := machine.New(machine.Config{
 			Protocol:         *proto,
 			Geom:             g,
 			Seed:             s,
 			CheckConsistency: *check,
 			AuditTokens:      *check,
+			Faults:           faults,
 		})
 		if err != nil {
 			return oneRun{}, err
@@ -104,7 +113,7 @@ func main() {
 			lc.Acquires = *acquires
 			progs, mon = workload.LockingPrograms(lc, g.TotalProcs(), s)
 		case "barrier":
-			bc := workload.DefaultBarrier(g.TotalProcs(), sim.NS(*jitter))
+			bc := workload.DefaultBarrier(g.TotalProcs(), sim.NS(*wjitter))
 			bc.Iterations = *barriers
 			progs, mon = workload.BarrierPrograms(bc, s)
 		default:

@@ -42,6 +42,7 @@ func main() {
 		limit    = flag.Int("limit", 0, "exact state-count cap (0 = the 5,000,000 default)")
 		jobs     = flag.Int("jobs", 0, "concurrent frontier-expansion workers (0 = one per CPU)")
 		symmetry = flag.Bool("symmetry", true, "canonicalize states under cache permutation (Ip&Dill scalarset-style reduction, up to caches! fewer states)")
+		loss     = flag.Bool("loss", false, "token models: enable interconnect message loss with token recreation (verifies conservation modulo recreation)")
 		protocol = flag.String("protocol", "all", "which models to check: all, token, directory, or hammer")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -100,9 +101,14 @@ func main() {
 		fmt.Print(*msgs)
 	}
 	if *symmetry {
-		fmt.Println(" symmetry=on")
+		fmt.Print(" symmetry=on")
 	} else {
-		fmt.Println(" symmetry=off")
+		fmt.Print(" symmetry=off")
+	}
+	if *loss {
+		fmt.Println(" loss=on")
+	} else {
+		fmt.Println()
 	}
 	fmt.Println()
 
@@ -132,6 +138,7 @@ func main() {
 			cfg.Caches = *caches
 			cfg.T = *tokens
 			cfg.MaxMsgs = bound(cfg.MaxMsgs)
+			cfg.Loss = *loss
 			run(models.NewTokenModel(cfg))
 		}
 	}

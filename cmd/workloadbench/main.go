@@ -31,6 +31,7 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	faultFlags := experiments.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
@@ -44,6 +45,7 @@ func main() {
 	opt.TxnsPerProc = *txns
 	opt.Seeds = *seeds
 	opt.Jobs = *jobs
+	opt.Faults = faultFlags()
 
 	protos := []string{
 		"DirectoryCMP", "DirectoryCMP-zero", "HammerCMP",

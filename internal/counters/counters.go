@@ -70,6 +70,14 @@ const (
 	NetBytesInterCMP = "net.bytes.inter_cmp"
 	NetHopIntraCMP   = "net.hop.intra_cmp"
 	NetHopInterCMP   = "net.hop.inter_cmp"
+
+	// Fault injection (the network's seeded fault layer): injected
+	// losses, duplicates, and reorders, plus retransmissions by the
+	// ack+retransmit shim covering token/data-carrying drops.
+	NetDropped   = "net.dropped"
+	NetDup       = "net.dup"
+	NetReordered = "net.reordered"
+	NetRetx      = "net.retx"
 )
 
 // Counter is one registered event counter. The zero value counts from

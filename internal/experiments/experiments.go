@@ -15,6 +15,7 @@ import (
 	"tokencmp/internal/counters"
 	"tokencmp/internal/cpu"
 	"tokencmp/internal/machine"
+	"tokencmp/internal/network"
 	"tokencmp/internal/runner"
 	"tokencmp/internal/sim"
 	"tokencmp/internal/stats"
@@ -42,6 +43,12 @@ type Options struct {
 
 	// Check enables the runtime coherence monitors (slower).
 	Check bool
+
+	// Faults configures the network's seeded fault injector for every
+	// run of the experiment (zero value: reliable network). The fault
+	// seed is perturbed per run alongside the workload seed so each
+	// seeded repetition sees an independent fault pattern.
+	Faults network.FaultConfig
 
 	// Baseline names the protocol every figure and table normalizes
 	// to. Empty selects automatically (see resolveBaseline).
@@ -73,12 +80,20 @@ func DefaultOptions() Options {
 
 // run executes one workload on one protocol with one seed.
 func run(proto string, opt Options, seed int64, progs func(m *machine.Machine, s int64) []cpu.Program) (machine.Result, error) {
+	faults := opt.Faults
+	if faults.Enabled() {
+		// Each seeded repetition draws an independent fault pattern, so
+		// the cell's confidence interval covers fault-timing variance
+		// too, not just workload perturbation.
+		faults.Seed += seed
+	}
 	m, err := machine.New(machine.Config{
 		Protocol:         proto,
 		Geom:             opt.Geom,
 		Seed:             seed,
 		CheckConsistency: opt.Check,
 		AuditTokens:      opt.Check,
+		Faults:           faults,
 		L1Size:           opt.l1Size,
 		L2BankSize:       opt.l2BankSize,
 	})

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"flag"
+
+	"tokencmp/internal/network"
+	"tokencmp/internal/sim"
+)
+
+// RegisterFaultFlags installs the shared fault-injection flags
+// (-drop/-dup/-reorder/-jitter/-faultseed) on fs and returns a resolver
+// to call after parsing. All four cmds expose the same knobs, applied
+// uniformly to both link classes; zero values leave the network
+// perfectly reliable and the run byte-identical to a fault-free build.
+func RegisterFaultFlags(fs *flag.FlagSet) func() network.FaultConfig {
+	var (
+		drop    = fs.Float64("drop", 0, "fault injection: per-message drop probability for droppable classes")
+		dup     = fs.Float64("dup", 0, "fault injection: per-message duplication probability")
+		reorder = fs.Float64("reorder", 0, "fault injection: probability a droppable message is reordered")
+		jitter  = fs.Int64("jitter", 0, "fault injection: per-message latency jitter bound in ns (all classes)")
+		seed    = fs.Int64("faultseed", 1, "fault injection: PRNG seed (same seed + knobs = identical run)")
+	)
+	return func() network.FaultConfig {
+		return network.UniformFaults(*seed, *drop, *dup, *reorder, sim.NS(*jitter))
+	}
+}

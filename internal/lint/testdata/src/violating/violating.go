@@ -47,6 +47,13 @@ func (c *Ctrl) register(bank int) {
 	c.cs.Counter(fmt.Sprintf("bank%d.miss", bank)).Inc()
 }
 
+// registerFault violates ctrreg a second way: a fault counter whose
+// name concatenates a runtime suffix onto the registry constant instead
+// of using counters.NetDropped itself.
+func (c *Ctrl) registerFault(link string) {
+	c.cs.Counter(counters.NetDropped + "." + link).Inc()
+}
+
 // startAll violates schedalloc: a per-iteration closure capturing the
 // loop variable.
 func (c *Ctrl) startAll(blocks []mem.Block) {

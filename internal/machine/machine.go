@@ -54,6 +54,14 @@ type Config struct {
 	// protocols only).
 	AuditTokens bool
 
+	// Faults configures the network's seeded fault injector (zero value:
+	// reliable network, byte-identical to pre-fault builds). What the
+	// injector may actually do is still class-gated by the protocol: only
+	// stacks with recovery machinery opt traffic in (see
+	// network.FaultClass), so drop/dup/reorder are honest no-ops on
+	// DirectoryCMP and HammerCMP while jitter applies everywhere.
+	Faults network.FaultConfig
+
 	// Optional structural overrides (zero means Table 3 default).
 	L1Size, L2BankSize int
 }
@@ -87,6 +95,9 @@ func New(cfg Config) (*Machine, error) {
 	eng := sim.NewEngine()
 	m := &Machine{Eng: eng, Cfg: cfg, expected: make(map[mem.Block]uint64)}
 
+	netCfg := network.Default()
+	netCfg.Faults = cfg.Faults
+
 	switch cfg.Protocol {
 	case "DirectoryCMP", "DirectoryCMP-zero":
 		dcfg := directory.DefaultConfig(cfg.Geom)
@@ -99,7 +110,7 @@ func New(cfg Config) (*Machine, error) {
 		if cfg.L2BankSize > 0 {
 			dcfg.L2BankSize = cfg.L2BankSize
 		}
-		sys := directory.NewSystem(eng, dcfg, network.Default())
+		sys := directory.NewSystem(eng, dcfg, netCfg)
 		m.Proto = sys
 		m.net = sys.Net
 	case "HammerCMP":
@@ -110,7 +121,7 @@ func New(cfg Config) (*Machine, error) {
 		if cfg.L2BankSize > 0 {
 			hcfg.L2BankSize = cfg.L2BankSize
 		}
-		sys := hammercmp.NewSystem(eng, hcfg, network.Default())
+		sys := hammercmp.NewSystem(eng, hcfg, netCfg)
 		m.Proto = sys
 		m.net = sys.Net
 	case "PerfectL2":
@@ -129,7 +140,7 @@ func New(cfg Config) (*Machine, error) {
 		if cfg.L2BankSize > 0 {
 			tcfg.L2BankSize = cfg.L2BankSize
 		}
-		sys := tokencmp.NewSystem(eng, tcfg, network.Default())
+		sys := tokencmp.NewSystem(eng, tcfg, netCfg)
 		m.Proto = sys
 		m.net = sys.Net
 	}

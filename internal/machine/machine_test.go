@@ -1,8 +1,11 @@
 package machine
 
 import (
+	"strings"
 	"testing"
 
+	"tokencmp/internal/counters"
+	"tokencmp/internal/network"
 	"tokencmp/internal/sim"
 	"tokencmp/internal/topo"
 	"tokencmp/internal/workload"
@@ -90,6 +93,65 @@ func TestCommercialAllProtocols(t *testing.T) {
 				t.Fatalf("mutual exclusion violated: %v", mon.Violations[0])
 			}
 		})
+	}
+}
+
+// TestFaultSoakAllProtocols is the seeded fault matrix CI soaks under
+// -race: every protocol family must complete the locking benchmark with
+// the coherence monitors and token audit on while the interconnect
+// drops, duplicates, reorders, and delays messages. Drop/dup/reorder
+// are class-gated — the token protocols classify their transient
+// requests as droppable, so net.dropped must actually fire there,
+// while the directory and hammer systems (no Classify hook) treat
+// every message as protected and the same knobs are honest no-ops.
+func TestFaultSoakAllProtocols(t *testing.T) {
+	protos := []string{"DirectoryCMP", "HammerCMP", "TokenCMP-arb0", "TokenCMP-dst1"}
+	faultCases := []struct {
+		name               string
+		drop, dup, reorder float64
+		jitter             sim.Time
+	}{
+		{name: "drop20", drop: 0.20},
+		{name: "dup10+reorder10", dup: 0.10, reorder: 0.10},
+		{name: "jitter30ns", jitter: sim.NS(30)},
+		{name: "storm", drop: 0.20, dup: 0.10, reorder: 0.10, jitter: sim.NS(30)},
+	}
+	for _, proto := range protos {
+		for _, fc := range faultCases {
+			proto, fc := proto, fc
+			t.Run(proto+"/"+fc.name, func(t *testing.T) {
+				for seed := int64(1); seed <= 2; seed++ {
+					cfg := smallCfg(proto)
+					cfg.Seed = seed
+					cfg.Faults = network.UniformFaults(seed, fc.drop, fc.dup, fc.reorder, fc.jitter)
+					m, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					lc := workload.DefaultLocking(4)
+					lc.Acquires = 8
+					progs, mon := workload.LockingPrograms(lc, m.Cfg.Geom.TotalProcs(), seed)
+					res, err := m.Run(progs, 60_000_000)
+					if err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+					if len(mon.Violations) > 0 {
+						t.Fatalf("seed %d: mutual exclusion violated: %v", seed, mon.Violations[0])
+					}
+					if got, want := mon.Acquires, uint64(4*8); got != want {
+						t.Errorf("seed %d: acquires = %d, want %d", seed, got, want)
+					}
+					dropped := res.Counters[counters.NetDropped]
+					token := strings.HasPrefix(proto, "TokenCMP")
+					if token && fc.drop > 0 && dropped == 0 {
+						t.Errorf("seed %d: drop=%.2f but no messages dropped", seed, fc.drop)
+					}
+					if !token && dropped != 0 {
+						t.Errorf("seed %d: %d drops on a protocol with no droppable class", seed, dropped)
+					}
+				}
+			})
+		}
 	}
 }
 

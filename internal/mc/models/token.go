@@ -40,6 +40,19 @@ type TokenConfig struct {
 	T        int // tokens per block
 	MaxMsgs  int // in-flight message bound
 	Activate Activation
+
+	// Loss enables interconnect message loss: any in-flight non-owner
+	// message may be destroyed, and a token-recreation process returns
+	// the destroyed tokens to memory. The safety invariant weakens from
+	// exact conservation to conservation modulo recreation (held +
+	// in-flight + lost == T); owner uniqueness, the coherence invariant,
+	// and the serial view are unchanged. Transient-request loss needs no
+	// extra transitions — the model has no request messages (the policy
+	// nondeterminism already covers "the request never arrived") — so
+	// Loss adds exactly what that cannot express: tokens vanishing from
+	// the wire. See the README's fault-injection section for how this
+	// differs from the simulator's ack+retransmit shim.
+	Loss bool
 }
 
 // DefaultTokenConfig is a small but non-trivial configuration: three
@@ -73,12 +86,15 @@ type preq struct {
 	Marked bool // distributed marking mechanism
 }
 
-// tstate is a full model state. Holders[Caches] is the memory.
+// tstate is a full model state. Holders[Caches] is the memory. Lost
+// counts tokens destroyed by the lossy interconnect and not yet
+// recreated (always 0 unless TokenConfig.Loss).
 type tstate struct {
 	Holders []holder
 	Msgs    []tmsg
 	Reqs    []preq // per processor
 	ArbQ    []int  // arbiter FIFO (processor indices); ArbQ[0] is active
+	Lost    int
 }
 
 // tscratch is one worker's reusable decode/encode workspace.
@@ -100,8 +116,11 @@ type TokenModel struct {
 	//	[offM, offR)     MaxMsgs × 3-byte slots [tokens][owner|hasData<<1|current<<2][dst],
 	//	                 byte-sorted, unused slots 0xFF
 	//	[offR, offQ)     Caches × 1 byte [valid|write<<1|marked<<2]
-	//	[offQ, width)    arbiter FIFO: processor indices, 0xFF padding
-	offN, offM, offR, offQ, width int
+	//	[offQ, ...)      arbiter FIFO: processor indices, 0xFF padding
+	//	[offL]           lost-token count — present only when cfg.Loss,
+	//	                 so loss-free layouts (and their pinned state
+	//	                 counts) are byte-identical to pre-loss builds
+	offN, offM, offR, offQ, offL, width int
 
 	// sym describes the layout's cache symmetry for the checker's
 	// canonicalization (nil for the distributed model; see NewTokenModel).
@@ -123,6 +142,11 @@ func NewTokenModel(cfg TokenConfig) *TokenModel {
 	m.offR = m.offM + tmsgW*cfg.MaxMsgs
 	m.offQ = m.offR + cfg.Caches
 	m.width = m.offQ + cfg.Caches
+	m.offL = -1
+	if cfg.Loss {
+		m.offL = m.width
+		m.width++
+	}
 	if cfg.Activate != DistributedAct {
 		// Cache symmetry: the holder and request records are per-cache
 		// groups (the memory holder at index Caches stays fixed), message
@@ -170,14 +194,17 @@ func (m *TokenModel) newState() tstate {
 
 // Name implements mc.Model.
 func (m *TokenModel) Name() string {
+	name := "TokenCMP-safety"
 	switch m.cfg.Activate {
 	case ArbiterAct:
-		return "TokenCMP-arb"
+		name = "TokenCMP-arb"
 	case DistributedAct:
-		return "TokenCMP-dst"
-	default:
-		return "TokenCMP-safety"
+		name = "TokenCMP-dst"
 	}
+	if m.cfg.Loss {
+		name += "+loss"
+	}
+	return name
 }
 
 func (m *TokenModel) mem() int { return m.cfg.Caches }
@@ -213,6 +240,9 @@ func (m *TokenModel) encode(s *tstate, key []byte) {
 			key[m.offQ+q] = slotPad
 		}
 	}
+	if m.cfg.Loss {
+		key[m.offL] = byte(s.Lost)
+	}
 }
 
 // decode unpacks key into s (whose slices are pre-sized scratch).
@@ -241,6 +271,10 @@ func (m *TokenModel) decode(key string, s *tstate) {
 		}
 		s.ArbQ = append(s.ArbQ, int(v))
 	}
+	s.Lost = 0
+	if m.cfg.Loss {
+		s.Lost = int(key[m.offL])
+	}
 }
 
 // stage copies the decoded state into the scratch successor, which the
@@ -253,6 +287,7 @@ func (m *TokenModel) stage(sc *tscratch) *tstate {
 	n.Reqs = n.Reqs[:len(s.Reqs)]
 	copy(n.Reqs, s.Reqs)
 	n.ArbQ = append(n.ArbQ[:0], s.ArbQ...)
+	n.Lost = s.Lost
 	return n
 }
 
@@ -353,6 +388,38 @@ func (m *TokenModel) Successors(key string, sb *mc.SuccBuf) {
 		}
 		n.Holders[msg.Dst] = h
 		m.emit(sb, sc, n)
+	}
+
+	// 2b. Interconnect loss (Loss mode): any non-owner in-flight message
+	// may be destroyed, moving its tokens to the lost count. Owner
+	// messages never vanish — in the simulator they ride the
+	// ack+retransmit shim, and recreating a destroyed owner token would
+	// need an authoritative data copy the protocol cannot name. Losing a
+	// non-owner data copy is harmless: it only removes a potential
+	// sharer.
+	if m.cfg.Loss {
+		for k := range s.Msgs {
+			if s.Msgs[k].Owner {
+				continue
+			}
+			n := m.stage(sc)
+			n.Lost += n.Msgs[k].Tokens
+			n.Msgs = append(n.Msgs[:k], n.Msgs[k+1:]...)
+			m.emit(sb, sc, n)
+		}
+		// 2c. Token recreation: the backstop process re-mints every lost
+		// token at the memory (the paper's token-recreation mechanism,
+		// collapsed to one atomic step). Always enabled while tokens are
+		// missing, which is what keeps the lossy model deadlock- and
+		// starvation-free: a persistent request stalled on destroyed
+		// tokens is eventually satisfiable through memory's forwarding
+		// obligation once recreation refills it.
+		if s.Lost > 0 {
+			n := m.stage(sc)
+			n.Holders[m.mem()].Tokens += n.Lost
+			n.Lost = 0
+			m.emit(sb, sc, n)
+		}
 	}
 
 	// 3. Processor stores: a cache with all T tokens may write, making
@@ -505,6 +572,11 @@ func (m *TokenModel) Check(key string) error {
 				return fmt.Errorf("in-flight owner token without data")
 			}
 		}
+	}
+	if m.cfg.Loss {
+		// Conservation modulo recreation: destroyed tokens are accounted
+		// until the recreation process re-mints them at memory.
+		tokens += int(key[m.offL])
 	}
 	if tokens != m.cfg.T {
 		return fmt.Errorf("token conservation violated: %d != %d", tokens, m.cfg.T)

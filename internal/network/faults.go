@@ -1,0 +1,177 @@
+// Fault injection: deterministic, seeded link faults — message loss,
+// duplication, reordering, and latency jitter — configured per link
+// class through Config.Faults. The injector exists to test the paper's
+// robustness claim: token coherence's timeout + persistent-request
+// machinery is supposed to make forward progress without a well-behaved
+// interconnect, so the interconnect must be able to misbehave.
+//
+// # Determinism
+//
+// All fault decisions come from one PRNG seeded by FaultConfig.Seed and
+// drawn in a fixed order on each send (jitter, reorder, duplicate,
+// drop). The same (seed, plan, workload) triple replays to the identical
+// event sequence; no global rand, no wall clock (the simdet analyzer
+// checks this package too). With every knob at zero the injector is
+// completely inert: no PRNG is created, no draw is made, and the
+// schedule is byte-identical to a fault-free build.
+//
+// # Message classes
+//
+// Faults are class-aware via Network.Classify. Protocols that have
+// recovery machinery mark messages droppable; everything else is
+// protected. With Classify unset (directory, hammer), every message is
+// protected and the drop/dup/reorder knobs are honest no-ops — those
+// protocols have no timeout/retry path, so "drop their messages" is not
+// a scenario they claim to survive. Jitter applies to all classes: it
+// varies latency without losing messages, and a per-link FIFO clamp
+// keeps same-link delivery order intact for protected traffic (only the
+// explicit reorder knob may violate it).
+//
+// Token- or data-carrying messages must not simply vanish (that would
+// leak tokens forever, which even the paper's protocol cannot recover
+// from without the token-recreation backstop). The FaultRetx class
+// models a lightweight ack+retransmit shim: a dropped message is
+// re-injected after RetxTimeout, paying bandwidth and latency again.
+// The re-send happens inside the drop event, so the conservation
+// monitor's in-flight tallies never see a window where tokens are
+// neither held nor on the wire — TokenAudit balances at every instant.
+package network
+
+import (
+	"tokencmp/internal/sim"
+	"tokencmp/internal/stats"
+)
+
+// FaultClass partitions messages by how the injector may treat them.
+// The protocol assigns classes through Network.Classify.
+type FaultClass uint8
+
+const (
+	// FaultProtected messages are never dropped, duplicated, or
+	// reordered (jitter still applies, FIFO-clamped per link). This is
+	// the default for every message when Classify is unset, and for
+	// persistent-request table maintenance even in token protocols:
+	// losing or reordering activate/deactivate would corrupt the
+	// distributed tables with no recovery path.
+	FaultProtected FaultClass = iota
+
+	// FaultDroppable messages may be dropped, duplicated, and
+	// reordered freely: the protocol's own timeout machinery recovers
+	// (transient requests and their forwards in token coherence).
+	FaultDroppable
+
+	// FaultRetx messages carry tokens or data, so a drop is covered by
+	// the ack+retransmit shim: the message is re-injected after
+	// RetxTimeout instead of vanishing. They are never duplicated or
+	// reordered (the shim's sequence numbers would suppress both).
+	FaultRetx
+)
+
+// FaultPlan holds the fault knobs for one link class. The zero value
+// injects nothing.
+type FaultPlan struct {
+	Drop    float64 // per-message loss probability in [0,1)
+	Dup     float64 // per-message duplication probability in [0,1)
+	Reorder float64 // probability a droppable message is held back
+
+	// ReorderWindow bounds the extra hold applied to a reordered
+	// message; 0 means 4x the link latency.
+	ReorderWindow sim.Time
+
+	// Jitter adds a uniform [0, Jitter] delay to every message on the
+	// link (all classes; per-link FIFO order is preserved unless the
+	// reorder knob fires).
+	Jitter sim.Time
+}
+
+func (p FaultPlan) enabled() bool {
+	return p.Drop > 0 || p.Dup > 0 || p.Reorder > 0 || p.Jitter > 0
+}
+
+// FaultConfig seeds and scopes the injector. The zero value disables
+// fault injection entirely (no PRNG, byte-identical schedules).
+type FaultConfig struct {
+	// Seed drives the single fault PRNG. Runs are replayable from
+	// (Seed, plans): the same configuration produces the identical
+	// fault pattern and therefore the identical simulation.
+	Seed int64
+
+	// OnChip and OffChip are the per-link-class plans, matching the
+	// two link classes of Config.
+	OnChip, OffChip FaultPlan
+
+	// RetxTimeout is the ack+retransmit shim's resend delay for
+	// dropped FaultRetx messages; 0 means 4x the link latency.
+	RetxTimeout sim.Time
+}
+
+// Enabled reports whether any fault knob is set.
+func (f FaultConfig) Enabled() bool {
+	return f.OnChip.enabled() || f.OffChip.enabled()
+}
+
+// UniformFaults builds a FaultConfig that applies the same plan to both
+// link classes — the shape behind the cmds' -drop/-dup/-reorder/-jitter
+// flags.
+func UniformFaults(seed int64, drop, dup, reorder float64, jitter sim.Time) FaultConfig {
+	p := FaultPlan{Drop: drop, Dup: dup, Reorder: reorder, Jitter: jitter}
+	return FaultConfig{Seed: seed, OnChip: p, OffChip: p}
+}
+
+// plan returns the fault plan for the link class lp belongs to.
+func (n *Network) plan(lp LinkParams) *FaultPlan {
+	if lp.Level == stats.IntraCMP {
+		return &n.Cfg.Faults.OnChip
+	}
+	return &n.Cfg.Faults.OffChip
+}
+
+// classOf applies the protocol's classifier, defaulting to protected.
+func (n *Network) classOf(m *Message) FaultClass {
+	if n.Classify == nil {
+		return FaultProtected
+	}
+	return n.Classify(m)
+}
+
+// dropCall is the closure-free ScheduleCall target for an injected loss.
+func dropCall(ctx, arg any) { ctx.(*Network).drop(arg.(*Message)) }
+
+// drop consumes a message at its would-be arrival time. The message has
+// been in flight until now, so the conservation monitor's accounting is
+// unwound exactly as deliver would: InFlight and the per-block
+// token/owner tallies both decrement — a dropped monitored message must
+// not haunt the audit. FaultRetx messages then re-enter the network in
+// this same event (the retransmit shim), re-incrementing the tallies
+// before any other event can observe a gap.
+func (n *Network) drop(m *Message) {
+	n.InFlight--
+	if m.Tokens > 0 || m.Owner {
+		c := n.inFlightCount(m.Block)
+		c.tokens -= int32(m.Tokens)
+		if m.Owner {
+			c.owners--
+		}
+	}
+	if n.ctrDropped != nil {
+		n.ctrDropped.Inc()
+	}
+	if n.classOf(m) == FaultRetx {
+		if n.ctrRetx != nil {
+			n.ctrRetx.Inc()
+		}
+		d := n.Cfg.Faults.RetxTimeout
+		if d == 0 {
+			d = 4 * n.link(m.Src, m.Dst).Latency
+		}
+		// Retransmit: the same message re-enters the send path after
+		// the shim's timeout, paying serialization and latency again
+		// and re-rolling the fault dice (a retransmit can itself be
+		// dropped; with Drop < 1 delivery is eventually certain, and
+		// Drop = 1.0 on a retx class is a documented livelock, not a
+		// supported configuration).
+		n.send(m, d, false)
+		return
+	}
+	n.Free(m)
+}

@@ -19,6 +19,7 @@ package network
 
 import (
 	"fmt"
+	"math/rand"
 
 	"tokencmp/internal/counters"
 	"tokencmp/internal/mem"
@@ -82,10 +83,12 @@ type LinkParams struct {
 	Level      stats.Level
 }
 
-// Config holds the two link classes (Table 3 defaults via Default).
+// Config holds the two link classes (Table 3 defaults via Default) and
+// the fault-injection plans (zero value: a perfectly reliable network).
 type Config struct {
 	OnChip  LinkParams
 	OffChip LinkParams
+	Faults  FaultConfig
 }
 
 // Default returns the Table 3 interconnect parameters: on-chip 2 ns
@@ -121,6 +124,19 @@ type Network struct {
 	ctrMsgIntra, ctrMsgInter     *counters.Counter
 	ctrBytesIntra, ctrBytesInter *counters.Counter
 	ctrHopIntra, ctrHopInter     *counters.Counter
+	ctrDropped, ctrDup           *counters.Counter
+	ctrReordered, ctrRetx        *counters.Counter
+
+	// Fault-injection state (see faults.go). Classify maps a message to
+	// its fault class; protocols with recovery machinery install it at
+	// system construction. frng is the single seeded fault PRNG — nil
+	// unless Cfg.Faults enables a knob, so fault-free runs never draw.
+	// lastArrive clamps per-link delivery order under jitter: only the
+	// explicit reorder knob may violate same-link FIFO.
+	Classify   func(m *Message) FaultClass
+	frng       *rand.Rand
+	faultsOn   bool
+	lastArrive []sim.Time
 
 	// InFlight counts undelivered messages; the coherence monitor uses it
 	// and tests use it to detect quiescence.
@@ -159,14 +175,20 @@ const (
 // New builds a network over geometry g.
 func New(eng *sim.Engine, g topo.Geometry, cfg Config) *Network {
 	n := g.NumNodes()
-	return &Network{
-		Eng:       eng,
-		Geom:      g,
-		Cfg:       cfg,
-		numNodes:  n,
-		endpoints: make([]Endpoint, n),
-		nextFree:  make([]sim.Time, n*n),
+	nw := &Network{
+		Eng:        eng,
+		Geom:       g,
+		Cfg:        cfg,
+		numNodes:   n,
+		endpoints:  make([]Endpoint, n),
+		nextFree:   make([]sim.Time, n*n),
+		lastArrive: make([]sim.Time, n*n),
 	}
+	if cfg.Faults.Enabled() {
+		nw.faultsOn = true
+		nw.frng = rand.New(rand.NewSource(cfg.Faults.Seed))
+	}
+	return nw
 }
 
 // inFlightCount returns the counter cell for block b, growing the page
@@ -227,6 +249,10 @@ func (n *Network) WireCounters(cs *counters.Set) {
 	n.ctrBytesInter = cs.Counter(counters.NetBytesInterCMP)
 	n.ctrHopIntra = cs.Counter(counters.NetHopIntraCMP)
 	n.ctrHopInter = cs.Counter(counters.NetHopInterCMP)
+	n.ctrDropped = cs.Counter(counters.NetDropped)
+	n.ctrDup = cs.Counter(counters.NetDup)
+	n.ctrReordered = cs.Counter(counters.NetReordered)
+	n.ctrRetx = cs.Counter(counters.NetRetx)
 }
 
 // Attach registers the endpoint for id.
@@ -309,7 +335,15 @@ func deliverCall(ctx, arg any) { ctx.(*Network).deliver(arg.(*Message)) }
 // Messages on the same directed link serialize through its bandwidth;
 // messages on different links are independent and may be reordered
 // relative to each other.
-func (n *Network) Send(m *Message) {
+func (n *Network) Send(m *Message) { n.send(m, 0, false) }
+
+// send is the full injection path. extra delays the message's departure
+// beyond the link's serialization point (the retransmit shim's timeout);
+// isDup marks an injected duplicate so a duplicate never re-duplicates.
+// When fault injection is enabled the PRNG is consumed in a fixed order
+// per message — jitter, reorder, duplicate, drop — so a run is a pure
+// function of (fault seed, plans, workload).
+func (n *Network) send(m *Message, extra sim.Time, isDup bool) {
 	if m.pooled {
 		panic(fmt.Sprintf("network: send of freed message %v", m))
 	}
@@ -369,6 +403,50 @@ func (n *Network) Send(m *Message) {
 		}
 	}
 
+	// Fault draws, in fixed order (see send's contract). Protected
+	// messages only ever see jitter; droppable messages may additionally
+	// be reordered, duplicated, and dropped; retx messages may be
+	// dropped (the shim re-sends them from drop).
+	hold := extra
+	reordered := false
+	dropped := false
+	if n.faultsOn {
+		plan := n.plan(lp)
+		cls := n.classOf(m)
+		if plan.Jitter > 0 {
+			hold += sim.Time(n.frng.Int63n(int64(plan.Jitter) + 1))
+		}
+		if cls == FaultDroppable {
+			if plan.Reorder > 0 && n.frng.Float64() < plan.Reorder {
+				reordered = true
+				w := plan.ReorderWindow
+				if w == 0 {
+					w = 4 * lp.Latency
+				}
+				hold += sim.Time(n.frng.Int63n(int64(w) + 1))
+				if n.ctrReordered != nil {
+					n.ctrReordered.Inc()
+				}
+			}
+			// Duplicates are restricted to token-free control messages:
+			// duplicating a token or data carrier would mint tokens and
+			// break conservation, which no receiver-side dedup exists to
+			// absorb. Droppable classes are token-free by policy anyway;
+			// the guard makes the invariant local.
+			if !isDup && plan.Dup > 0 && m.Tokens == 0 && !m.Owner && !m.HasData &&
+				n.frng.Float64() < plan.Dup {
+				cp := n.CopyOf(m)
+				if n.ctrDup != nil {
+					n.ctrDup.Inc()
+				}
+				n.send(cp, extra, true)
+			}
+		}
+		if cls != FaultProtected && plan.Drop > 0 && n.frng.Float64() < plan.Drop {
+			dropped = true
+		}
+	}
+
 	ser := sim.Time(0)
 	if lp.BytesPerNS > 0 {
 		ser = sim.Time(int64(m.Size) * int64(sim.Nanosecond) / int64(lp.BytesPerNS))
@@ -381,7 +459,23 @@ func (n *Network) Send(m *Message) {
 	depart += ser
 	n.nextFree[key] = depart
 
-	n.Eng.ScheduleCallAt(depart+lp.Latency, deliverCall, n, m)
+	arrive := depart + lp.Latency + hold
+	if !reordered {
+		// Per-link FIFO clamp: jitter (and retransmit delay) may not
+		// reorder messages within one directed link — protocols without
+		// recovery machinery rely on that order. Without faults this is
+		// a no-op (arrivals are already monotone per link); only the
+		// explicit reorder knob above bypasses it.
+		if last := n.lastArrive[key]; arrive < last {
+			arrive = last
+		}
+		n.lastArrive[key] = arrive
+	}
+	if dropped {
+		n.Eng.ScheduleCallAt(arrive, dropCall, n, m)
+		return
+	}
+	n.Eng.ScheduleCallAt(arrive, deliverCall, n, m)
 }
 
 func (n *Network) deliver(m *Message) {

@@ -1,5 +1,7 @@
 package tokencmp
 
+import "tokencmp/internal/network"
+
 // Message kinds. Transient requests, responses, and writebacks implement
 // the performance policy; the persistent-request kinds belong to the
 // correctness substrate.
@@ -37,6 +39,39 @@ const (
 	// for Block is done.
 	kArbDeactivate
 )
+
+// classifyFault maps message kinds to fault-injection classes — the
+// protocol's statement of which losses it claims to survive (installed
+// on the network by NewSystem).
+//
+// Transient requests and their intra-CMP forwards are freely droppable,
+// duplicable, and reorderable: token counting makes re-received requests
+// look exactly like the retries the protocol already issues, and a lost
+// request is re-sent by the requestor's timeout (escalating to a
+// persistent request if retries keep failing) — this is the paper's
+// robustness claim, so the injector gets to attack it.
+//
+// Responses and writebacks carry tokens and possibly data; losing one
+// would destroy tokens forever, which the protocol cannot recover
+// without token recreation (Section 2 of the token-coherence papers, not
+// modeled here). They ride the ack+retransmit shim instead: a drop costs
+// latency and bandwidth, never tokens.
+//
+// The persistent-request machinery (distributed table inserts/erases and
+// the arbiter's queue/activate/deactivate traffic) is protected: those
+// messages maintain replicated table state, and the protocol's
+// correctness argument assumes table updates are reliable and per-link
+// ordered. Attacking them tests a claim the paper never makes.
+func classifyFault(m *network.Message) network.FaultClass {
+	switch m.Kind {
+	case kTransient, kFwdExternal:
+		return network.FaultDroppable
+	case kResponse, kWriteback:
+		return network.FaultRetx
+	default:
+		return network.FaultProtected
+	}
+}
 
 func kindName(k int) string {
 	switch k {

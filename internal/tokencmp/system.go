@@ -48,6 +48,10 @@ func NewSystem(eng *sim.Engine, cfg Config, netCfg network.Config) *System {
 	s.Ctrs = counters.NewSet()
 	s.ctr = newCtrs(s.Ctrs)
 	s.Net.WireCounters(s.Ctrs)
+	// Token coherence claims survival of an ill-behaved interconnect, so
+	// it opts its transient traffic into fault injection (see
+	// classifyFault for the per-kind policy).
+	s.Net.Classify = classifyFault
 
 	s.L1Ds = make([][]*L1Ctrl, g.CMPs)
 	s.L1Is = make([][]*L1Ctrl, g.CMPs)
