@@ -6,7 +6,9 @@
 package bench
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"tokencmp/internal/cpu"
 	"tokencmp/internal/experiments"
@@ -16,6 +18,7 @@ import (
 	"tokencmp/internal/network"
 	"tokencmp/internal/runner"
 	"tokencmp/internal/sim"
+	"tokencmp/internal/simd"
 	"tokencmp/internal/stats"
 	"tokencmp/internal/tokencmp"
 	"tokencmp/internal/topo"
@@ -191,6 +194,31 @@ func BenchmarkSec5ModelCheck(b *testing.B) {
 			b.ReportMetric(float64(hammer.FullStates), "hammer-full")
 		}
 	}
+}
+
+// BenchmarkSimdCacheParallel measures the daemon's serving path under
+// contention: every core hammers the singleflight result cache on a
+// warm key, the steady state of a daemon answering repeated identical
+// experiments. One op is one served request. The hit path is a single
+// mutex acquisition plus an LRU touch, so this series pins both the
+// cache's scalability and its zero-allocation fast path.
+func BenchmarkSimdCacheParallel(b *testing.B) {
+	b.ReportAllocs()
+	c := simd.NewCache(64, time.Hour, context.Background(), nil)
+	ctx := context.Background()
+	warm := func(context.Context) ([]byte, error) { return []byte(`{"benchmark":"warm"}`), nil }
+	if _, err := c.Do(ctx, "warm", warm); err != nil {
+		b.Fatal(err)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			got, err := c.Do(ctx, "warm", warm)
+			if err != nil || len(got) == 0 {
+				b.Error("cache miss on warm key")
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkProtocolHandoff measures the raw simulator: one contended

@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +56,7 @@ func main() {
 		check    = flag.Bool("check", false, "enable coherence monitors")
 		ctrs     = flag.Bool("counters", false, "print the event-counter table")
 		list     = flag.Bool("list", false, "list protocols and exit")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole command (0 = none); on expiry in-flight runs abort within a bounded number of events, a partial-progress report is printed, and the exit status is non-zero")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -84,6 +87,13 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProf()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancelBudget context.CancelFunc
+		ctx, cancelBudget = context.WithTimeout(ctx, *timeout)
+		defer cancelBudget()
+	}
 
 	g := topo.NewGeometry(*cmps, *procs, *banks)
 	baseFaults := faultFlags()
@@ -124,25 +134,49 @@ func main() {
 			params.TxnsPerProc = *txns
 			progs, mon = workload.CommercialPrograms(params, g.TotalProcs(), s)
 		}
-		res, err := m.Run(progs, 0)
+		res, err := m.RunCtx(ctx, progs, 0)
 		if err != nil {
 			return oneRun{}, err
 		}
 		return oneRun{res: res, mon: mon, proto: m.Proto.Name()}, nil
 	}
 
-	runs, err := runner.Map(runner.New(*jobs), *seeds, func(i int) (oneRun, error) {
-		return runOne(*seed + int64(i))
+	// Each seed writes its own slot and completion flag, so when the
+	// wall-clock budget expires the completed prefix of runs is still
+	// reportable as partial progress.
+	slots := make([]oneRun, *seeds)
+	done := make([]bool, *seeds)
+	err = runner.New(*jobs).RunCtx(ctx, *seeds, func(i int) error {
+		r, rerr := runOne(*seed + int64(i))
+		if rerr != nil {
+			return rerr
+		}
+		slots[i], done[i] = r, true
+		return nil
 	})
+	runs := slots[:0]
+	for i, ok := range done {
+		if ok {
+			runs = append(runs, slots[i])
+		}
+	}
+	partial := false
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		stopProf() // flush a usable CPU profile even on failure
-		os.Exit(1)
+		if (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) && len(runs) > 0 {
+			// Budget expired: report what completed, then exit non-zero.
+			partial = true
+			fmt.Fprintf(os.Stderr, "mcsim: wall-clock budget %v exhausted: %d/%d seed runs completed; reporting partial results\n",
+				*timeout, len(runs), *seeds)
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+			stopProf() // flush a usable CPU profile even on failure
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("protocol:   %s\n", runs[0].proto)
 	fmt.Printf("workload:   %s\n", *wl)
-	if *seeds == 1 {
+	if len(runs) == 1 {
 		res, mon := runs[0].res, runs[0].mon
 		fmt.Printf("runtime:    %v\n", res.Runtime)
 		fmt.Printf("events:     %d\n", res.Events)
@@ -159,6 +193,10 @@ func main() {
 		if *ctrs {
 			fmt.Println("event counters:")
 			counters.Fprint(os.Stdout, res.Counters)
+		}
+		if partial {
+			stopProf()
+			os.Exit(1)
 		}
 		return
 	}
@@ -179,7 +217,11 @@ func main() {
 		totalAcq += r.mon.Acquires
 		violations += len(r.mon.Violations)
 	}
-	fmt.Printf("runs:       %d (seeds %d..%d)\n", *seeds, *seed, *seed+int64(*seeds)-1)
+	if partial {
+		fmt.Printf("runs:       %d of %d requested (PARTIAL: -timeout %v expired)\n", len(runs), *seeds, *timeout)
+	} else {
+		fmt.Printf("runs:       %d (seeds %d..%d)\n", *seeds, *seed, *seed+int64(*seeds)-1)
+	}
 	fmt.Printf("runtime:    %s ns\n", runtime.String())
 	fmt.Printf("events:     %d\n", events)
 	fmt.Printf("L1 misses:  %d\n", misses)
@@ -195,5 +237,9 @@ func main() {
 	if *ctrs {
 		fmt.Println("event counters (summed over all runs):")
 		counters.Fprint(os.Stdout, allCtrs)
+	}
+	if partial {
+		stopProf()
+		os.Exit(1)
 	}
 }

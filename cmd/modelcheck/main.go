@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +45,7 @@ func main() {
 		symmetry = flag.Bool("symmetry", true, "canonicalize states under cache permutation (Ip&Dill scalarset-style reduction, up to caches! fewer states)")
 		loss     = flag.Bool("loss", false, "token models: enable interconnect message loss with token recreation (verifies conservation modulo recreation)")
 		protocol = flag.String("protocol", "all", "which models to check: all, token, directory, or hammer")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget shared by all checks (0 = none); on expiry each check reports the states explored so far as PARTIAL and the exit status is non-zero")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -112,9 +114,20 @@ func main() {
 	}
 	fmt.Println()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancelBudget context.CancelFunc
+		ctx, cancelBudget = context.WithTimeout(ctx, *timeout)
+		defer cancelBudget()
+	}
+
 	failed := false
+	interrupted := false
 	run := func(m mc.Model) {
-		res := mc.CheckOpt(m, mc.Options{Limit: *limit, Jobs: *jobs, Symmetry: *symmetry})
+		res := mc.CheckOpt(m, mc.Options{Limit: *limit, Jobs: *jobs, Symmetry: *symmetry, Context: ctx})
+		if res.Interrupted {
+			interrupted = true
+		}
 		note := ""
 		if *symmetry && !res.Symmetry {
 			// Requested but not applied: either the model declared no
@@ -161,7 +174,10 @@ func main() {
 	if want("hammer") {
 		fmt.Printf("  flat hammer (broadcast):  %d\n", modelLoC("internal/mc/models/hammer.go"))
 	}
-	if failed {
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "modelcheck: wall-clock budget %v exhausted; PARTIAL results above cover the explored prefix only\n", *timeout)
+	}
+	if failed || interrupted {
 		stopProf()
 		os.Exit(1)
 	}

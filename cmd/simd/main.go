@@ -1,0 +1,68 @@
+// simd is the simulation-as-a-service daemon: an HTTP/JSON front end
+// over the deterministic M-CMP simulator. Identical experiments are
+// collapsed onto one run and served from an LRU+TTL result cache,
+// overload sheds with 429 + Retry-After, every request carries a
+// wall-clock deadline that aborts the engine within a bounded number
+// of events, and SIGINT/SIGTERM drains in-flight runs before exit.
+//
+// Usage:
+//
+//	simd -addr :8080
+//	curl -s localhost:8080/run -d '{"protocol":"TokenCMP-dst1","workload":"locking"}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tokencmp/internal/simd"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers = flag.Int("workers", 4, "admission slots (simultaneously served cache misses)")
+		queue   = flag.Int("queue", 16, "waiting requests beyond the slots before shedding with 429")
+		entries = flag.Int("cache-entries", 256, "result cache capacity (bodies)")
+		ttl     = flag.Duration("cache-ttl", 10*time.Minute, "result cache entry lifetime")
+		reqTo   = flag.Duration("request-timeout", 30*time.Second, "default per-request deadline")
+		maxTo   = flag.Duration("max-timeout", 5*time.Minute, "ceiling clamped onto requested deadlines")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight runs")
+		chaos   = flag.Bool("chaos", false, "accept the __panic/__hang test workloads (smoke tests only)")
+	)
+	flag.Parse()
+
+	d := simd.New(simd.Config{
+		MaxConcurrent:  *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *entries,
+		CacheTTL:       *ttl,
+		DefaultTimeout: *reqTo,
+		MaxTimeout:     *maxTo,
+		DrainTimeout:   *drain,
+		Chaos:          *chaos,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("simd: listening on %s (workers=%d queue=%d cache=%d ttl=%v)\n",
+		ln.Addr(), *workers, *queue, *entries, *ttl)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := d.Serve(ctx, ln); err != nil {
+		fmt.Fprintf(os.Stderr, "simd: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("simd: drained cleanly")
+}

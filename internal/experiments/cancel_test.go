@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestGoldenFiguresWithLiveContext asserts the full figure pipeline
+// with the cancellation plumbing armed — a real, cancellable context
+// installed on every engine — stays byte-identical to the committed
+// golden figures at jobs=1 and jobs=8. This is the determinism half of
+// the end-to-end cancellation contract: an uncancelled context must be
+// invisible in every result.
+func TestGoldenFiguresWithLiveContext(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_figures.txt"))
+	if err != nil {
+		t.Fatalf("missing golden file (run TestGoldenFigures -update-golden): %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, jobs := range []int{1, 8} {
+		got := renderAllFiguresCtx(t, jobs, ctx)
+		if got != string(want) {
+			t.Errorf("figures with a live context diverged from golden output at jobs=%d:\n-- got --\n%s", jobs, got)
+		}
+	}
+}
+
+// TestSweepCancelled asserts a cancelled experiment returns promptly
+// with an error matching the context, instead of finishing the sweep.
+func TestSweepCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := tinyOpts(4)
+	opt.Context = ctx
+	_, err := RunLockSweep([]string{"DirectoryCMP", "TokenCMP-dst1"}, []int{2, 8}, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepDeadline asserts a deadline that expires mid-experiment
+// surfaces context.DeadlineExceeded through the whole stack — pool
+// dispatch, machine run, experiment merge.
+func TestSweepDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	opt := tinyOpts(2)
+	opt.Acquires = 512 // enough work that 1ms cannot finish the sweep
+	opt.Context = ctx
+	_, err := RunLockSweep([]string{"DirectoryCMP", "TokenCMP-dst1"}, []int{2, 8, 32}, opt)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -35,6 +36,15 @@ type Options struct {
 	// machine.Machine — and results merge in a fixed serial order, so
 	// output is byte-identical for any Jobs value.
 	Jobs int
+
+	// Context cancels the whole experiment: no further (protocol,
+	// configuration, seed) run is dispatched once it is done, and every
+	// in-flight simulation engine stops within sim.CancelCheckEvery
+	// events. The experiment then returns an error satisfying
+	// errors.Is(err, ctx.Err()). Nil means run to completion; an
+	// installed-but-uncancelled context leaves every figure
+	// byte-identical (pinned by the golden-figures tests).
+	Context context.Context
 
 	// Workload scale knobs (smaller = faster benches).
 	Acquires    int // locking: acquires per processor
@@ -78,6 +88,15 @@ func DefaultOptions() Options {
 	}
 }
 
+// ctx returns the experiment's cancellation context (Background when
+// none was set).
+func (o *Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
 // run executes one workload on one protocol with one seed.
 func run(proto string, opt Options, seed int64, progs func(m *machine.Machine, s int64) []cpu.Program) (machine.Result, error) {
 	faults := opt.Faults
@@ -100,7 +119,7 @@ func run(proto string, opt Options, seed int64, progs func(m *machine.Machine, s
 	if err != nil {
 		return machine.Result{}, err
 	}
-	res, err := m.Run(progs(m, seed), opt.Limit)
+	res, err := m.RunCtx(opt.ctx(), progs(m, seed), opt.Limit)
 	if err != nil {
 		return res, fmt.Errorf("%s seed %d: %w", proto, seed, err)
 	}
@@ -131,14 +150,17 @@ type cellTask struct {
 // and then merges each task's seed results in ascending seed order into
 // index-addressed cells. The merge order is fixed, so the returned
 // cells are identical to a serial nested-loop run for any jobs value.
-func runCells(tasks []cellTask, jobs int) ([]*Cell, error) {
+// Cancelling ctx stops dispatching new runs; runs already in flight
+// stop within sim.CancelCheckEvery events because every task's machine
+// carries the same context.
+func runCells(ctx context.Context, tasks []cellTask, jobs int) ([]*Cell, error) {
 	offsets := make([]int, len(tasks)+1)
 	for i, t := range tasks {
 		offsets[i+1] = offsets[i] + t.opt.Seeds
 	}
 	results := make([]machine.Result, offsets[len(tasks)])
 	pool := runner.New(jobs)
-	err := pool.Run(len(results), func(i int) error {
+	err := pool.RunCtx(ctx, len(results), func(i int) error {
 		// ti is the task owning flat slot i: the smallest index with
 		// offsets[ti+1] > i.
 		ti := sort.SearchInts(offsets[1:], i+1)
@@ -195,7 +217,7 @@ func RunLockSweep(protocols []string, lockCounts []int, opt Options) (*LockSweep
 				}})
 		}
 	}
-	cells, err := runCells(tasks, opt.Jobs)
+	cells, err := runCells(opt.ctx(), tasks, opt.Jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +310,7 @@ func RunBarrierTable(protocols []string, opt Options) (*BarrierTable, error) {
 				}})
 		}
 	}
-	cells, err := runCells(tasks, opt.Jobs)
+	cells, err := runCells(opt.ctx(), tasks, opt.Jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -358,7 +380,7 @@ func RunCommercial(workloads, protocols []string, opt Options) (*Commercial, err
 				}})
 		}
 	}
-	cells, err := runCells(tasks, opt.Jobs)
+	cells, err := runCells(opt.ctx(), tasks, opt.Jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -18,7 +19,16 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_fi
 // returns the concatenated rendered bytes.
 func renderAllFigures(t *testing.T, jobs int) string {
 	t.Helper()
+	return renderAllFiguresCtx(t, jobs, nil)
+}
+
+// renderAllFiguresCtx is renderAllFigures with a cancellation context
+// installed on every run (nil = no context), so the golden tests can
+// pin that the cancellation plumbing is invisible when uncancelled.
+func renderAllFiguresCtx(t *testing.T, jobs int, ctx context.Context) string {
+	t.Helper()
 	opt := tinyOpts(jobs)
+	opt.Context = ctx
 	var b strings.Builder
 
 	sweep, err := RunLockSweep(

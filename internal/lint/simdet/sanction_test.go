@@ -1,0 +1,40 @@
+package simdet
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWallClockSanctionScope pins the sanctioned wall-clock list: the
+// serving layer and nothing else. Growing this list is a reviewable
+// event — a new entry must be serving-side code whose results cannot
+// depend on the clock, and the test forces that conversation.
+func TestWallClockSanctionScope(t *testing.T) {
+	want := map[string]bool{"tokencmp/internal/simd": true}
+	for path, why := range wallClockSanctioned {
+		if !want[path] {
+			t.Errorf("unexpected wall-clock sanction for %s", path)
+		}
+		if strings.TrimSpace(why) == "" {
+			t.Errorf("sanction for %s carries no justification", path)
+		}
+	}
+	for path := range want {
+		if wallClockSanctioned[path] == "" {
+			t.Errorf("expected sanction for %s missing", path)
+		}
+	}
+	// The deterministic core must never appear here: its wall-clock
+	// exceptions are per-line simlint:ignore directives, reviewed one
+	// call site at a time.
+	for _, core := range []string{
+		"tokencmp/internal/sim", "tokencmp/internal/machine",
+		"tokencmp/internal/network", "tokencmp/internal/tokencmp",
+		"tokencmp/internal/experiments", "tokencmp/internal/mc",
+		"tokencmp/internal/workload", "tokencmp/internal/runner",
+	} {
+		if _, ok := wallClockSanctioned[core]; ok {
+			t.Errorf("core simulation package %s must not be clock-sanctioned", core)
+		}
+	}
+}

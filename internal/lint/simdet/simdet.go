@@ -20,10 +20,15 @@
 //     Integer counter updates (Traffic.Add and friends) are commutative
 //     and therefore allowed.
 //
-//   - time.Now: wall-clock time in simulation code makes runs
-//     irreproducible. (The mc checker's states/sec throughput report is
-//     the sanctioned exception, suppressed with a simlint:ignore
-//     directive — it measures the checker, not the model.)
+//   - time.Now, called or referenced: wall-clock time in simulation
+//     code makes runs irreproducible, and storing time.Now behind a
+//     function value smuggles it in just as effectively as calling it.
+//     (The mc checker's states/sec throughput report is the sanctioned
+//     per-line exception, suppressed with a simlint:ignore directive —
+//     it measures the checker, not the model. The serving layer in
+//     internal/simd is the sanctioned per-package exception, listed in
+//     wallClockSanctioned — deadlines and TTLs are wall-clock policy
+//     there by design, and no simulation result depends on them.)
 //
 //   - Global math/rand (and math/rand/v2) functions: the global source
 //     is process-seeded. Components draw from their own seeded
@@ -51,6 +56,16 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
+// wallClockSanctioned lists the packages allowed to read the wall
+// clock, each with the justification that makes the exception sound.
+// The bar for an entry: the package must sit outside the deterministic
+// core, and no simulation result may depend on what the clock says —
+// only serving policy (deadlines, TTLs, backoff hints). The map-range
+// and math/rand checks still apply to sanctioned packages in full.
+var wallClockSanctioned = map[string]string{
+	"tokencmp/internal/simd": "serving layer: deadlines, cache TTLs, and Retry-After hints are wall-clock policy by design; response bodies are a pure function of the request's cache key",
+}
+
 func run(pass *analysis.Pass) (any, error) {
 	path := pass.Pkg.Path()
 	if !strings.HasPrefix(path, "tokencmp/internal/") {
@@ -60,13 +75,20 @@ func run(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 
-	a := &pkgAnalysis{pass: pass}
+	a := &pkgAnalysis{pass: pass, clockExempt: wallClockSanctioned[path] != ""}
 	a.buildEffectSummary()
 	for _, f := range pass.Files {
+		// callFuns records expressions serving as the function operand
+		// of a call, so a bare time.Now reference can be told apart
+		// from a time.Now() call (Inspect visits the call first).
+		callFuns := make(map[ast.Expr]bool)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
+				callFuns[ast.Unparen(n.Fun)] = true
 				a.checkClockAndRand(n)
+			case *ast.SelectorExpr:
+				a.checkClockRef(n, callFuns)
 			case *ast.FuncDecl:
 				if n.Body != nil {
 					a.checkMapRanges(n)
@@ -81,6 +103,9 @@ func run(pass *analysis.Pass) (any, error) {
 
 type pkgAnalysis struct {
 	pass *analysis.Pass
+	// clockExempt is set for wallClockSanctioned packages: the
+	// time.Now checks are skipped, everything else still runs.
+	clockExempt bool
 	// effectful holds the package's own functions that (transitively)
 	// schedule, send, or update order-sensitive statistics.
 	effectful map[*types.Func]bool
@@ -94,7 +119,9 @@ func (a *pkgAnalysis) checkClockAndRand(call *ast.CallExpr) {
 		return
 	}
 	if lintutil.IsFunc(fn, "time", "Now") {
-		a.pass.Reportf(call.Pos(), "time.Now in simulation code: wall-clock time makes runs irreproducible — derive times from sim.Engine.Now")
+		if !a.clockExempt {
+			a.pass.Reportf(call.Pos(), "time.Now in simulation code: wall-clock time makes runs irreproducible — derive times from sim.Engine.Now")
+		}
 		return
 	}
 	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2") {
@@ -107,6 +134,20 @@ func (a *pkgAnalysis) checkClockAndRand(call *ast.CallExpr) {
 		}
 		a.pass.Reportf(call.Pos(), "global %s.%s is process-seeded and nondeterministic across runs — draw from a component-owned rand.New(rand.NewSource(seed))", pkg.Path(), fn.Name())
 	}
+}
+
+// checkClockRef flags time.Now referenced as a function value rather
+// than called — assigning it to a field or variable smuggles the wall
+// clock into simulation code just as effectively as calling it.
+func (a *pkgAnalysis) checkClockRef(sel *ast.SelectorExpr, callFuns map[ast.Expr]bool) {
+	if a.clockExempt || callFuns[sel] {
+		return
+	}
+	fn, ok := a.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !lintutil.IsFunc(fn, "time", "Now") {
+		return
+	}
+	a.pass.Reportf(sel.Pos(), "reference to time.Now in simulation code: storing the wall clock behind a function value makes runs irreproducible — derive times from sim.Engine.Now")
 }
 
 // seedEffect classifies calls that directly make map-iteration order

@@ -39,6 +39,13 @@ func (c *Ctrl) suppressedClock() int64 {
 	return t.UnixNano()
 }
 
+// storedClock smuggles the wall clock in behind a function value: the
+// reference is flagged even though time.Now is never called here.
+func (c *Ctrl) storedClock() func() time.Time {
+	clock := time.Now // want `reference to time\.Now in simulation code`
+	return clock
+}
+
 func (c *Ctrl) jitter() int {
 	return rand.Intn(4) // want `global math/rand\.Intn is process-seeded`
 }

@@ -8,6 +8,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"tokencmp/internal/counters"
@@ -224,6 +225,18 @@ type Result struct {
 // runtime (the finish time of the last processor). limit bounds engine
 // events (0 = 4 billion).
 func (m *Machine) Run(progs []cpu.Program, limit uint64) (Result, error) {
+	return m.RunCtx(context.Background(), progs, limit)
+}
+
+// RunCtx is Run with end-to-end cancellation: the context is installed
+// on the simulation engine, which polls it once every
+// sim.CancelCheckEvery events, so a timed-out or abandoned run stops
+// burning its core within that bound. A cancelled run returns a partial
+// Result (events fired, simulated time reached, counters so far) and an
+// error wrapping ctx.Err(), so callers can match it with errors.Is.
+// With an uncancelled context the event sequence — and therefore every
+// figure — is byte-identical to Run.
+func (m *Machine) RunCtx(ctx context.Context, progs []cpu.Program, limit uint64) (Result, error) {
 	g := m.Cfg.Geom
 	if len(progs) != g.TotalProcs() {
 		return Result{}, fmt.Errorf("machine: %d programs for %d processors", len(progs), g.TotalProcs())
@@ -249,9 +262,14 @@ func (m *Machine) Run(progs []cpu.Program, limit uint64) (Result, error) {
 		}
 		return true
 	}
+	m.Eng.SetContext(ctx)
 	ok := m.Eng.RunUntil(allDone, limit)
 	res := Result{Runtime: m.Eng.Now(), Traffic: m.Traffic(), Misses: m.Proto.Misses(),
 		Persistent: m.PersistentRequests(), Events: m.Eng.Executed, Counters: m.Counters()}
+	if cerr := m.Eng.Err(); cerr != nil {
+		return res, fmt.Errorf("machine: %s interrupted after %d events at %v: %w",
+			m.Proto.Name(), m.Eng.Executed, m.Eng.Now(), cerr)
+	}
 	if !ok {
 		return res, fmt.Errorf("machine: %s did not finish (events=%d, pending=%d, now=%v)",
 			m.Proto.Name(), m.Eng.Executed, m.Eng.Pending(), m.Eng.Now())

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -193,5 +195,74 @@ func TestSeedPerturbsRuns(t *testing.T) {
 	}
 	if runSeed(1) == runSeed(2) {
 		t.Log("warning: different seeds produced identical runtimes (possible but unlikely)")
+	}
+}
+
+// TestRunCtxCancellationBound asserts a cancelled machine run stops
+// within the engine's documented event bound, returns an error matching
+// errors.Is(err, context.Canceled), and reports partial progress.
+func TestRunCtxCancellationBound(t *testing.T) {
+	m, err := New(smallCfg("TokenCMP-dst1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc := workload.DefaultLocking(4)
+	lc.Acquires = 1 << 20 // far more work than the cancellation allows
+	progs, _ := workload.LockingPrograms(lc, smallGeom().TotalProcs(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	const cancelAfter = 5000
+	// Cancel from inside the simulation once it is clearly in flight.
+	m.Eng.Schedule(0, func() {
+		var tick func()
+		tick = func() {
+			if m.Eng.Executed >= cancelAfter {
+				cancel()
+				return
+			}
+			m.Eng.Schedule(sim.NS(10), tick)
+		}
+		tick()
+	})
+	res, err := m.RunCtx(ctx, progs, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Events == 0 {
+		t.Error("partial result carries no progress")
+	}
+	if res.Events > cancelAfter+2*sim.CancelCheckEvery {
+		t.Errorf("run fired %d events, want <= cancel point %d + bound %d",
+			res.Events, cancelAfter, sim.CancelCheckEvery)
+	}
+}
+
+// TestRunCtxBackgroundIdentical asserts RunCtx with a live (but never
+// cancelled) context produces the exact result Run does.
+func TestRunCtxBackgroundIdentical(t *testing.T) {
+	runOnce := func(ctx context.Context) Result {
+		m, err := New(smallCfg("DirectoryCMP"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lc := workload.DefaultLocking(4)
+		lc.Acquires = 8
+		progs, _ := workload.LockingPrograms(lc, smallGeom().TotalProcs(), 1)
+		var res Result
+		if ctx == nil {
+			res, err = m.Run(progs, 0)
+		} else {
+			res, err = m.RunCtx(ctx, progs, 0)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := runOnce(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	live := runOnce(ctx)
+	if plain.Runtime != live.Runtime || plain.Events != live.Events || plain.Misses != live.Misses {
+		t.Errorf("live-context run diverged: %+v vs %+v", plain, live)
 	}
 }

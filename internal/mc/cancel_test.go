@@ -1,0 +1,56 @@
+package mc_test
+
+import (
+	"context"
+	"testing"
+
+	"tokencmp/internal/mc"
+	"tokencmp/internal/mc/models"
+)
+
+// TestCheckOptInterrupted asserts a cancelled context aborts the
+// exploration with Interrupted set and a partial (strictly smaller)
+// state count, and that the starvation field stays undecided.
+func TestCheckOptInterrupted(t *testing.T) {
+	m := models.NewTokenModel(models.DefaultTokenConfig(models.ArbiterAct))
+	full := mc.CheckOpt(m, mc.Options{})
+	if !full.OK() || full.Interrupted {
+		t.Fatalf("baseline run not clean: %v", full)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := mc.CheckOpt(m, mc.Options{Context: ctx})
+	if !res.Interrupted {
+		t.Fatalf("pre-cancelled run not marked interrupted: %v", res)
+	}
+	if res.States >= full.States {
+		t.Errorf("interrupted run explored %d states, full run %d — expected a strict prefix", res.States, full.States)
+	}
+	if res.Starvation != "" {
+		t.Errorf("interrupted run decided starvation: %q", res.Starvation)
+	}
+}
+
+// TestCheckOptLiveContextIdenticalCounts asserts an installed but
+// uncancelled context changes nothing: States/Transitions/Diameter all
+// match a context-free run, at jobs=1 and jobs=8, with and without
+// symmetry reduction.
+func TestCheckOptLiveContextIdenticalCounts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, jobs := range []int{1, 8} {
+		for _, symmetry := range []bool{false, true} {
+			m := models.NewTokenModel(models.DefaultTokenConfig(models.SafetyOnly))
+			plain := mc.CheckOpt(m, mc.Options{Jobs: jobs, Symmetry: symmetry})
+			live := mc.CheckOpt(m, mc.Options{Jobs: jobs, Symmetry: symmetry, Context: ctx})
+			if live.Interrupted {
+				t.Fatalf("jobs=%d symmetry=%v: live context reported interruption", jobs, symmetry)
+			}
+			if plain.States != live.States || plain.Transitions != live.Transitions ||
+				plain.Diameter != live.Diameter || plain.FullStates != live.FullStates {
+				t.Errorf("jobs=%d symmetry=%v: counts diverged with a live context: %v vs %v",
+					jobs, symmetry, plain, live)
+			}
+		}
+	}
+}

@@ -32,6 +32,7 @@ package mc
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"hash/maphash"
 	"slices"
@@ -87,6 +88,14 @@ type Options struct {
 	// non-nil descriptor and Caches <= MaxSymmetryCaches; Result.
 	// Symmetry reports whether the reduction was actually applied.
 	Symmetry bool
+	// Context aborts the exploration between BFS levels: once it is
+	// cancelled, the current level finishes merging and the run stops
+	// with Result.Interrupted set, reporting the consistent subgraph
+	// explored so far (safety violations and deadlocks already found
+	// are real; the starvation pass is skipped, since unexpanded
+	// frontier states would read as false starvation). Nil, or a
+	// never-cancellable context, checks to completion.
+	Context context.Context
 }
 
 // Result summarizes one model-checking run. With symmetry reduction
@@ -103,6 +112,11 @@ type Result struct {
 
 	Symmetry   bool // whether cache-permutation reduction was applied
 	FullStates int  // orbit-expanded state count (== States unreduced)
+
+	// Interrupted marks a run aborted by Options.Context before the
+	// state space was exhausted: counts describe the explored prefix
+	// and the starvation property was not decided.
+	Interrupted bool
 
 	Violation  error  // first safety violation, if any
 	BadState   string // the violating state
@@ -146,6 +160,9 @@ func (r *Result) String() string {
 	case r.Starvation != "":
 		status = "FAIL"
 		detail = " starvation"
+	case r.Interrupted:
+		status = "PARTIAL"
+		detail = " interrupted (counts are a prefix; starvation undecided)"
 	}
 	states := fmt.Sprintf("states=%d", r.States)
 	if r.Symmetry {
@@ -278,6 +295,10 @@ func CheckOpt(m Model, opt Options) *Result {
 	pool := runner.New(opt.Jobs)
 	start := time.Now() //simlint:ignore simdet wall-clock states/sec throughput: measures the checker, not the model
 	res := &Result{Model: m.Name()}
+	ctx := opt.Context
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil // never cancellable: skip the per-level poll
+	}
 
 	var sym *Symmetry
 	if opt.Symmetry {
@@ -442,10 +463,24 @@ func CheckOpt(m Model, opt Options) *Result {
 			}
 		}
 		lo = hi
+		// Cancellation is checked between levels: the merged prefix is
+		// always a consistent subgraph, and a level's expansion is the
+		// unit of work bounded enough for -timeout abort latency.
+		if ctx != nil && ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
 	}
 	res.States = len(states)
 	if sym == nil {
 		res.FullStates = res.States
+	}
+	if res.Interrupted {
+		// The starvation property cannot be decided on a truncated
+		// graph (unexpanded frontier states have no outgoing edges and
+		// would read as starving); report the prefix counts only.
+		res.Elapsed = time.Since(start)
+		return res
 	}
 
 	// Starvation check: backward reachability from satisfying states

@@ -6,6 +6,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -95,6 +96,25 @@ func (p *Pool) Run(n int, fn func(i int) error) error {
 	return firstErr
 }
 
+// RunCtx is Run with cooperative cancellation: once ctx is cancelled,
+// no further index starts its work — already-running items finish on
+// their own (hand them the same ctx if they should stop early too, the
+// way machine.RunCtx's engine does). Indices skipped by cancellation
+// report ctx.Err(), so the lowest-index-error rule makes a cancelled
+// call return ctx.Err() unless a real fn failure happened at a lower
+// index first. A nil or never-cancellable ctx is exactly Run.
+func (p *Pool) RunCtx(ctx context.Context, n int, fn func(i int) error) error {
+	if ctx == nil || ctx.Done() == nil {
+		return p.Run(n, fn)
+	}
+	return p.Run(n, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(i)
+	})
+}
+
 // Stripe invokes fn(i) for every i in [0, n) by handing each worker a
 // strided subset (worker w gets w, w+W, w+2W, ...). Cheaper than Run for
 // very large n with very cheap fn — one dispatch per worker instead of
@@ -129,8 +149,15 @@ func (p *Pool) Stripe(n int, fn func(i int)) {
 // Map runs fn for every index in [0, n) through the pool and returns
 // the results in index order, or the lowest-index error.
 func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(nil, p, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation (see RunCtx): a cancelled
+// ctx stops dispatch and the call returns ctx.Err() unless a real fn
+// failure happened at a lower index first.
+func MapCtx[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := p.Run(n, func(i int) error {
+	err := p.RunCtx(ctx, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -106,5 +107,69 @@ func TestMapOrdersResults(t *testing.T) {
 		return i, nil
 	}); err == nil {
 		t.Fatal("Map swallowed the error")
+	}
+}
+
+// TestRunCtxStopsDispatchOnCancel cancels the context from inside an
+// item and asserts no index starts afterwards, with ctx.Err() reported.
+func TestRunCtxStopsDispatchOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 1000
+	var started atomic.Int64
+	err := New(4).RunCtx(ctx, n, func(i int) error {
+		started.Add(1)
+		if i == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got >= n {
+		t.Errorf("all %d items ran despite cancellation", got)
+	}
+}
+
+// TestRunCtxPrefersLowerIndexError asserts a real failure at a lower
+// index wins over the cancellation error at higher ones.
+func TestRunCtxPrefersLowerIndexError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := New(1).RunCtx(ctx, 100, func(i int) error {
+		if i == 3 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestRunCtxNilAndBackgroundMatchRun asserts the zero-cost paths: a nil
+// or never-cancellable context runs every index exactly like Run.
+func TestRunCtxNilAndBackgroundMatchRun(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		var ran atomic.Int64
+		if err := New(4).RunCtx(ctx, 50, func(i int) error { ran.Add(1); return nil }); err != nil {
+			t.Fatalf("ctx=%v: err = %v", ctx, err)
+		}
+		if ran.Load() != 50 {
+			t.Errorf("ctx=%v: ran %d items, want 50", ctx, ran.Load())
+		}
+	}
+}
+
+// TestMapCtxCancelled asserts MapCtx surfaces ctx.Err() once cancelled.
+func TestMapCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapCtx(ctx, New(2), 8, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

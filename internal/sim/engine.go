@@ -1,5 +1,7 @@
 package sim
 
+import "context"
+
 // event is one scheduled callback. It carries either a plain closure
 // (fn) or the closure-free form (call, ctx, arg) — see ScheduleCall.
 type event struct {
@@ -87,6 +89,13 @@ func (q *eventQueue) siftDown(i int) {
 	}
 }
 
+// CancelCheckEvery is the amortized cancellation polling interval: Run
+// and RunUntil poll the installed context (see SetContext) once per
+// this many fired events, so after the context is cancelled the engine
+// stops within at most CancelCheckEvery further events — the documented
+// cancellation bound. A power of two keeps the poll gate a single AND.
+const CancelCheckEvery = 1024
+
 // Engine is a deterministic discrete-event scheduler.
 // The zero value is ready to use.
 type Engine struct {
@@ -94,6 +103,10 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	stopped bool
+	// ctx is the cancellation source (nil when the engine cannot be
+	// cancelled — the common case, and the zero-overhead one).
+	ctx         context.Context
+	interrupted bool
 	// Executed counts events that have fired; useful as a progress and
 	// live-lock guard in tests.
 	Executed uint64
@@ -101,6 +114,50 @@ type Engine struct {
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine { return &Engine{} }
+
+// SetContext installs ctx as the engine's cancellation source: Run and
+// RunUntil poll it once every CancelCheckEvery events and stop early
+// when it is cancelled, so a timed-out or abandoned run releases its
+// core within a bounded number of events. A nil context — or one that
+// can never be cancelled, like context.Background() — removes the
+// source entirely; uncancelled runs execute the exact same event
+// sequence either way, so installing a live context never perturbs a
+// deterministic result (pinned by the golden-figures tests).
+func (e *Engine) SetContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
+	e.ctx = ctx
+	e.interrupted = false
+}
+
+// Interrupted reports whether the most recent Run or RunUntil stopped
+// because the installed context was cancelled.
+func (e *Engine) Interrupted() bool { return e.interrupted }
+
+// Err returns the installed context's error if the engine was
+// interrupted by it, nil otherwise.
+func (e *Engine) Err() error {
+	if !e.interrupted {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// pollCancel is the amortized cancellation check shared by Run and
+// RunUntil. It reports true — and latches Interrupted — when the
+// installed context has been cancelled, polling only once every
+// CancelCheckEvery executed events.
+func (e *Engine) pollCancel() bool {
+	if e.ctx == nil || e.Executed%CancelCheckEvery != 0 {
+		return false
+	}
+	if e.ctx.Err() == nil {
+		return false
+	}
+	e.interrupted = true
+	return true
+}
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -167,14 +224,19 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run fires events until the queue is empty, Stop is called, or the
-// event-count limit is exceeded (limit <= 0 means no limit). It returns
-// the final simulated time.
+// Run fires events until the queue is empty, Stop is called, the
+// event-count limit is exceeded (limit <= 0 means no limit), or the
+// installed context is cancelled (see SetContext). It returns the
+// final simulated time.
 func (e *Engine) Run(limit uint64) Time {
 	e.stopped = false
+	e.interrupted = false
 	start := e.Executed
 	for !e.stopped && e.Step() {
 		if limit > 0 && e.Executed-start >= limit {
+			break
+		}
+		if e.pollCancel() {
 			break
 		}
 	}
@@ -182,10 +244,12 @@ func (e *Engine) Run(limit uint64) Time {
 }
 
 // RunUntil fires events until cond() is true (checked after every event),
-// the queue drains, or the event-count limit is exceeded. It reports
-// whether cond was satisfied.
+// the queue drains, the event-count limit is exceeded, or the installed
+// context is cancelled (distinguish the last case with Interrupted). It
+// reports whether cond was satisfied.
 func (e *Engine) RunUntil(cond func() bool, limit uint64) bool {
 	e.stopped = false
+	e.interrupted = false
 	if cond() {
 		return true
 	}
@@ -195,6 +259,9 @@ func (e *Engine) RunUntil(cond func() bool, limit uint64) bool {
 			return true
 		}
 		if limit > 0 && e.Executed-start >= limit {
+			return false
+		}
+		if e.pollCancel() {
 			return false
 		}
 	}

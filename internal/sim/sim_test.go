@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -242,5 +243,111 @@ func TestScheduleCallDoesNotAllocate(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Errorf("ScheduleCall+Step allocates %.2f per event, want 0", avg)
+	}
+}
+
+// TestCancelStopsWithinBound pins the documented cancellation bound: a
+// run whose context is cancelled mid-flight (here, by an event handler
+// itself) fires at most CancelCheckEvery further events.
+func TestCancelStopsWithinBound(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetContext(ctx)
+	var reschedule func()
+	reschedule = func() { e.Schedule(NS(1), reschedule) }
+	reschedule()
+	const cancelAt = 100
+	var cancelled uint64
+	e.Schedule(NS(1), func() {
+		// Fires as the second event at t=1ns; keep rescheduling until
+		// the cancel point, then cancel from inside the run.
+		var tick func()
+		tick = func() {
+			if e.Executed == cancelAt {
+				cancelled = e.Executed
+				cancel()
+				return
+			}
+			e.Schedule(NS(1), tick)
+		}
+		tick()
+	})
+	e.Run(0)
+	if cancelled == 0 {
+		t.Fatal("cancel point never reached")
+	}
+	if !e.Interrupted() {
+		t.Fatalf("engine not interrupted (executed %d events)", e.Executed)
+	}
+	if got := e.Executed - cancelled; got > CancelCheckEvery {
+		t.Errorf("engine ran %d events past cancellation, documented bound is %d", got, CancelCheckEvery)
+	}
+	if e.Err() == nil {
+		t.Error("Err() = nil after interruption, want context.Canceled")
+	}
+}
+
+// TestRunUntilCancelDistinguishable asserts RunUntil reports an
+// unsatisfied condition on cancellation and that Interrupted
+// distinguishes it from an exhausted queue or event limit.
+func TestRunUntilCancelDistinguishable(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run even starts
+	e.SetContext(ctx)
+	var chain func()
+	chain = func() { e.Schedule(NS(1), chain) }
+	chain()
+	ok := e.RunUntil(func() bool { return false }, 0)
+	if ok {
+		t.Fatal("RunUntil reported cond satisfied on a cancelled run")
+	}
+	if !e.Interrupted() {
+		t.Fatal("Interrupted() = false after pre-cancelled run")
+	}
+	if e.Executed > CancelCheckEvery {
+		t.Errorf("pre-cancelled run fired %d events, bound is %d", e.Executed, CancelCheckEvery)
+	}
+	// Limit exhaustion must NOT read as interruption.
+	e2 := NewEngine()
+	e2.SetContext(context.Background())
+	var chain2 func()
+	chain2 = func() { e2.Schedule(NS(1), chain2) }
+	chain2()
+	if e2.RunUntil(func() bool { return false }, 10) {
+		t.Fatal("RunUntil satisfied an always-false cond")
+	}
+	if e2.Interrupted() {
+		t.Error("limit exhaustion reported as interruption")
+	}
+}
+
+// TestSetContextBackgroundIsFree asserts a never-cancellable context is
+// normalized away: the engine behaves exactly as if no context were
+// installed (the zero-overhead, determinism-preserving path).
+func TestSetContextBackgroundIsFree(t *testing.T) {
+	run := func(ctx context.Context) []Time {
+		e := NewEngine()
+		e.SetContext(ctx)
+		var fired []Time
+		for i := 0; i < 3000; i++ {
+			d := Time(i%7) * Nanosecond
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run(0)
+		return fired
+	}
+	plain := run(nil)
+	bg := run(context.Background())
+	live, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withLive := run(live)
+	if len(plain) != len(bg) || len(plain) != len(withLive) {
+		t.Fatalf("event counts diverged: nil=%d background=%d live=%d", len(plain), len(bg), len(withLive))
+	}
+	for i := range plain {
+		if plain[i] != bg[i] || plain[i] != withLive[i] {
+			t.Fatalf("event %d fired at %v/%v/%v across context variants", i, plain[i], bg[i], withLive[i])
+		}
 	}
 }

@@ -1,0 +1,207 @@
+package simd
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrPanic wraps a recovered worker panic so the serving layer can
+// distinguish "this request crashed its worker" from ordinary run
+// failures. The panic is confined to the one flight that raised it.
+var ErrPanic = errors.New("simd: run panicked")
+
+// Cache is a singleflight result cache with LRU capacity eviction and
+// TTL expiry, in the shape of the serving-layer token caches used by
+// inference gateways: concurrent requests for the same key collapse
+// onto one in-flight computation, completed bodies are reused until
+// they age out, and a flight whose waiters have all given up is
+// cancelled instead of burning a worker for nobody.
+//
+// The deterministic simulator makes the cache sound: a key encodes
+// every input the result depends on, so serving bytes computed for an
+// earlier identical request is indistinguishable from re-running it.
+type Cache struct {
+	max     int
+	ttl     time.Duration // <= 0 means entries never expire
+	baseCtx context.Context
+	metrics *Metrics
+	now     func() time.Time // injected by tests; time.Now in production
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[string]*flight
+}
+
+type entry struct {
+	key     string
+	body    []byte
+	expires time.Time
+}
+
+// flight is one running computation plus the bookkeeping to collapse
+// and abandon it. body and err are written exactly once, before done
+// is closed; waiters is guarded by the cache mutex.
+type flight struct {
+	cancel  context.CancelFunc
+	done    chan struct{}
+	body    []byte
+	err     error
+	waiters int
+}
+
+// NewCache builds a cache holding at most max bodies (min 1) that
+// expire ttl after insertion (ttl <= 0 disables expiry). Flights are
+// cancelled when base is — the daemon passes its drain context so
+// shutdown aborts orphaned runs. metrics may be nil.
+func NewCache(max int, ttl time.Duration, base context.Context, metrics *Metrics) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	if base == nil {
+		base = context.Background()
+	}
+	if metrics == nil {
+		metrics = &Metrics{}
+	}
+	return &Cache{
+		max:      max,
+		ttl:      ttl,
+		baseCtx:  base,
+		metrics:  metrics,
+		now:      time.Now,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Len reports the number of cached bodies (not in-flight runs).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Lookup probes the cache without joining or starting a flight: it
+// returns a live cached body (refreshing its LRU position) or reports
+// a miss. Expired entries are dropped on the way.
+func (c *Cache) Lookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if c.ttl > 0 && !c.now().Before(e.expires) {
+		c.removeLocked(el)
+		c.metrics.Expired.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.metrics.Hits.Add(1)
+	return e.body, true
+}
+
+// Do returns the body for key, computing it with fn at most once no
+// matter how many callers ask concurrently. ctx bounds only this
+// caller's wait: if it expires the caller detaches, and the last
+// detaching waiter cancels the flight's own context so the underlying
+// engine stops within its documented event bound. fn runs on a fresh
+// goroutine with panics recovered into an ErrPanic-wrapped error, so
+// one poisoned request cannot take the daemon down. Only successful
+// bodies are cached.
+func (c *Cache) Do(ctx context.Context, key string, fn func(context.Context) ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry)
+		if c.ttl <= 0 || c.now().Before(e.expires) {
+			c.order.MoveToFront(el)
+			c.mu.Unlock()
+			c.metrics.Hits.Add(1)
+			return e.body, nil
+		}
+		c.removeLocked(el)
+		c.metrics.Expired.Add(1)
+	}
+	f, ok := c.inflight[key]
+	if ok {
+		f.waiters++
+		c.metrics.Collapsed.Add(1)
+	} else {
+		fctx, cancel := context.WithCancel(c.baseCtx)
+		f = &flight{cancel: cancel, done: make(chan struct{}), waiters: 1}
+		c.inflight[key] = f
+		c.metrics.Runs.Add(1)
+		go c.lead(key, f, fctx, fn)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.body, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 && c.inflight[key] == f {
+			// Nobody is waiting for this result anymore: stop the run
+			// and forget the flight so a later request starts fresh.
+			delete(c.inflight, key)
+			f.cancel()
+		}
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// lead runs fn for a flight, publishes the outcome, and installs
+// successful bodies in the LRU — unless the flight was abandoned
+// (removed from inflight) while it ran, in which case the result is
+// discarded because no request is waiting and the run may have been
+// cancelled mid-simulation.
+func (c *Cache) lead(key string, f *flight, fctx context.Context, fn func(context.Context) ([]byte, error)) {
+	body, err := func() (b []byte, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				c.metrics.Panics.Add(1)
+				err = fmt.Errorf("%w: %v", ErrPanic, r)
+			}
+		}()
+		return fn(fctx)
+	}()
+	c.mu.Lock()
+	f.body, f.err = body, err
+	if c.inflight[key] == f {
+		delete(c.inflight, key)
+		if err == nil {
+			c.insertLocked(key, body)
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	f.cancel()
+}
+
+func (c *Cache) insertLocked(key string, body []byte) {
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry)
+		e.body, e.expires = body, c.now().Add(c.ttl)
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&entry{key: key, body: body, expires: c.now().Add(c.ttl)})
+	for c.order.Len() > c.max {
+		c.removeLocked(c.order.Back())
+		c.metrics.Evicted.Add(1)
+	}
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	c.order.Remove(el)
+	delete(c.entries, el.Value.(*entry).key)
+}

@@ -1,0 +1,255 @@
+package simd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoCollapsesConcurrent storms one key with many goroutines and
+// asserts exactly one underlying computation ran and every caller got
+// the same bytes.
+func TestDoCollapsesConcurrent(t *testing.T) {
+	m := &Metrics{}
+	c := NewCache(8, time.Minute, context.Background(), m)
+	var calls atomic.Int64
+	release := make(chan struct{})
+	fn := func(context.Context) ([]byte, error) {
+		calls.Add(1)
+		<-release
+		return []byte("body"), nil
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Do(context.Background(), "k", fn)
+		}(i)
+	}
+	// Let the callers pile onto the flight, then let it finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times for one key, want 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if string(results[i]) != "body" {
+			t.Fatalf("caller %d got %q", i, results[i])
+		}
+	}
+	if m.Runs.Load() != 1 {
+		t.Errorf("Runs = %d, want 1", m.Runs.Load())
+	}
+	// Every non-lead caller either joined the flight or (if scheduled
+	// after it completed) hit the cache; none started a second run.
+	hits0 := m.Hits.Load()
+	if got := m.Collapsed.Load() + hits0; got != n-1 {
+		t.Errorf("Collapsed+Hits = %d, want %d", got, n-1)
+	}
+	// A later call is a plain cache hit.
+	if _, err := c.Do(context.Background(), "k", fn); err != nil {
+		t.Fatal(err)
+	}
+	if m.Hits.Load() != hits0+1 {
+		t.Errorf("Hits = %d, want %d", m.Hits.Load(), hits0+1)
+	}
+}
+
+// TestLRUEviction fills past capacity and asserts the least recently
+// used body (not the most recently touched one) is dropped.
+func TestLRUEviction(t *testing.T) {
+	m := &Metrics{}
+	c := NewCache(2, 0, context.Background(), m)
+	put := func(key string) {
+		t.Helper()
+		if _, err := c.Do(context.Background(), key, func(context.Context) ([]byte, error) {
+			return []byte(key), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	if _, ok := c.Lookup("a"); !ok { // refresh a: b becomes the LRU victim
+		t.Fatal("a missing before capacity was reached")
+	}
+	put("c")
+	if _, ok := c.Lookup("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.Lookup("a"); !ok {
+		t.Error("a evicted despite being recently used")
+	}
+	if _, ok := c.Lookup("c"); !ok {
+		t.Error("c missing right after insertion")
+	}
+	if m.Evicted.Load() != 1 {
+		t.Errorf("Evicted = %d, want 1", m.Evicted.Load())
+	}
+}
+
+// TestTTLExpiry advances an injected clock past the TTL and asserts
+// the entry is dropped and recomputed on the next request.
+func TestTTLExpiry(t *testing.T) {
+	m := &Metrics{}
+	c := NewCache(8, time.Minute, context.Background(), m)
+	clock := time.Unix(1000, 0)
+	c.now = func() time.Time { return clock }
+	var calls atomic.Int64
+	fn := func(context.Context) ([]byte, error) {
+		calls.Add(1)
+		return []byte(fmt.Sprintf("gen%d", calls.Load())), nil
+	}
+	b1, err := c.Do(context.Background(), "k", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(59 * time.Second)
+	if b, ok := c.Lookup("k"); !ok || string(b) != string(b1) {
+		t.Fatalf("entry gone before TTL: ok=%t body=%q", ok, b)
+	}
+	clock = clock.Add(2 * time.Second) // 61s > 60s TTL
+	if _, ok := c.Lookup("k"); ok {
+		t.Fatal("entry survived past its TTL")
+	}
+	if m.Expired.Load() != 1 {
+		t.Errorf("Expired = %d, want 1", m.Expired.Load())
+	}
+	b2, err := c.Do(context.Background(), "k", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b2) != "gen2" {
+		t.Errorf("expired entry not recomputed: got %q", b2)
+	}
+}
+
+// TestAbandonedFlightCancelled asserts that when every waiter gives
+// up, the flight's context is cancelled (the engine-abort path) and a
+// later identical request starts a fresh flight.
+func TestAbandonedFlightCancelled(t *testing.T) {
+	m := &Metrics{}
+	c := NewCache(8, time.Minute, context.Background(), m)
+	flightCancelled := make(chan struct{})
+	fn := func(fctx context.Context) ([]byte, error) {
+		<-fctx.Done()
+		close(flightCancelled)
+		return nil, fctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Do(ctx, "k", fn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	select {
+	case <-flightCancelled:
+	case <-time.After(time.Second):
+		t.Fatal("flight context never cancelled after the last waiter left")
+	}
+	// The abandoned flight must not have poisoned the key.
+	body, err := c.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+		return []byte("fresh"), nil
+	})
+	if err != nil || string(body) != "fresh" {
+		t.Fatalf("fresh flight after abandonment: body=%q err=%v", body, err)
+	}
+	if m.Runs.Load() != 2 {
+		t.Errorf("Runs = %d, want 2 (abandoned + fresh)", m.Runs.Load())
+	}
+}
+
+// TestPanicIsolated asserts a panicking computation surfaces as
+// ErrPanic to every waiter, is counted, is not cached, and leaves the
+// cache usable.
+func TestPanicIsolated(t *testing.T) {
+	m := &Metrics{}
+	c := NewCache(8, time.Minute, context.Background(), m)
+	_, err := c.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+		panic("boom")
+	})
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v, want ErrPanic", err)
+	}
+	if m.Panics.Load() != 1 {
+		t.Errorf("Panics = %d, want 1", m.Panics.Load())
+	}
+	body, err := c.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || string(body) != "ok" {
+		t.Fatalf("cache unusable after panic: body=%q err=%v", body, err)
+	}
+}
+
+// TestErrorNotCached asserts failures are never served from the cache.
+func TestErrorNotCached(t *testing.T) {
+	c := NewCache(8, time.Minute, context.Background(), nil)
+	boom := errors.New("boom")
+	if _, err := c.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error cached: Len = %d", c.Len())
+	}
+	body, err := c.Do(context.Background(), "k", func(context.Context) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || string(body) != "ok" {
+		t.Fatalf("retry after error: body=%q err=%v", body, err)
+	}
+}
+
+// TestLateWaiterAfterDetach pins the race where one waiter times out
+// while another keeps the flight alive: the survivor still gets the
+// result, and the flight is not cancelled early.
+func TestLateWaiterAfterDetach(t *testing.T) {
+	c := NewCache(8, time.Minute, context.Background(), nil)
+	release := make(chan struct{})
+	fn := func(fctx context.Context) ([]byte, error) {
+		select {
+		case <-release:
+			return []byte("done"), nil
+		case <-fctx.Done():
+			return nil, fctx.Err()
+		}
+	}
+	impatient, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var patientBody []byte
+	var patientErr error
+	go func() {
+		defer wg.Done()
+		_, _ = c.Do(impatient, "k", fn)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		patientBody, patientErr = c.Do(context.Background(), "k", fn)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel() // the impatient waiter leaves; the patient one remains
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if patientErr != nil || string(patientBody) != "done" {
+		t.Fatalf("patient waiter: body=%q err=%v (flight cancelled early?)", patientBody, patientErr)
+	}
+}

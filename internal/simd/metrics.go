@@ -1,0 +1,56 @@
+package simd
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics is the daemon's concurrency-safe counter set. The
+// simulator's own internal/counters package is deliberately
+// single-threaded (it lives inside the deterministic event loop);
+// the serving layer needs atomics because every HTTP handler
+// increments them concurrently.
+type Metrics struct {
+	Requests  atomic.Uint64 // /run requests accepted for decoding
+	BadInput  atomic.Uint64 // rejected with 400
+	Hits      atomic.Uint64 // served from the result cache
+	Collapsed atomic.Uint64 // joined an already-running identical flight
+	Runs      atomic.Uint64 // underlying simulation flights started
+	Completed atomic.Uint64 // responses served with 200
+	Shed      atomic.Uint64 // rejected with 429 at queue capacity
+	Timeouts  atomic.Uint64 // deadline expired (504)
+	Panics    atomic.Uint64 // worker panics isolated to a 500
+	Errors    atomic.Uint64 // other run failures (500)
+	Evicted   atomic.Uint64 // cache entries dropped by LRU capacity
+	Expired   atomic.Uint64 // cache entries dropped by TTL
+
+	InFlight atomic.Int64 // requests holding an admission slot
+	Queued   atomic.Int64 // requests waiting for an admission slot
+}
+
+// WritePrometheus renders the counters in Prometheus text
+// exposition format, in a fixed order so the output is stable
+// for tests and scrapers alike.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP simd_%s %s\n# TYPE simd_%s counter\nsimd_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP simd_%s %s\n# TYPE simd_%s gauge\nsimd_%s %d\n", name, help, name, name, v)
+	}
+	counter("requests_total", "run requests received", m.Requests.Load())
+	counter("bad_input_total", "requests rejected with 400", m.BadInput.Load())
+	counter("cache_hits_total", "responses served from the result cache", m.Hits.Load())
+	counter("collapsed_total", "requests that joined an in-flight identical run", m.Collapsed.Load())
+	counter("runs_total", "underlying simulation runs started", m.Runs.Load())
+	counter("completed_total", "responses served with 200", m.Completed.Load())
+	counter("shed_total", "requests shed with 429 at queue capacity", m.Shed.Load())
+	counter("timeouts_total", "requests that hit their deadline (504)", m.Timeouts.Load())
+	counter("panics_total", "worker panics isolated to a 500", m.Panics.Load())
+	counter("errors_total", "run failures other than timeouts and panics", m.Errors.Load())
+	counter("cache_evicted_total", "cache entries dropped by LRU capacity", m.Evicted.Load())
+	counter("cache_expired_total", "cache entries dropped by TTL", m.Expired.Load())
+	gauge("in_flight", "requests holding an admission slot", m.InFlight.Load())
+	gauge("queued", "requests waiting for an admission slot", m.Queued.Load())
+}

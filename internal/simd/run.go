@@ -1,0 +1,132 @@
+package simd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"tokencmp/internal/cpu"
+	"tokencmp/internal/experiments"
+	"tokencmp/internal/machine"
+	"tokencmp/internal/sim"
+	"tokencmp/internal/stats"
+	"tokencmp/internal/topo"
+	"tokencmp/internal/workload"
+)
+
+// Response is the JSON body for a completed experiment. It is built
+// with a fixed field order and no wall-clock content, so equal cache
+// keys produce byte-identical bodies — the property the singleflight
+// cache and the CI smoke test rely on.
+type Response struct {
+	Protocol   string  `json:"protocol"`
+	Workload   string  `json:"workload"`
+	Runs       int     `json:"runs"`
+	RuntimeNS  float64 `json:"runtime_ns"`      // mean over runs
+	RuntimeCI  float64 `json:"runtime_ci95_ns"` // 0 for a single run
+	Events     uint64  `json:"events"`          // summed over runs
+	Misses     uint64  `json:"l1_misses"`
+	Persistent uint64  `json:"persistent"`
+	Acquires   uint64  `json:"acquires"`
+	Violations int     `json:"violations"`
+	IntraBytes uint64  `json:"intra_cmp_bytes"`
+	IntraMsgs  uint64  `json:"intra_cmp_messages"`
+	InterBytes uint64  `json:"inter_cmp_bytes"`
+	InterMsgs  uint64  `json:"inter_cmp_messages"`
+}
+
+// runRequest executes every seed of a normalized, validated request
+// serially under ctx (daemon-level parallelism comes from concurrent
+// requests, not from fanning one request out) and renders the
+// deterministic response body.
+func runRequest(ctx context.Context, req Request) ([]byte, error) {
+	switch req.Workload {
+	case ChaosPanic:
+		panic("simd: chaos panic workload")
+	case ChaosHang:
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+
+	g := topo.NewGeometry(req.CMPs, req.Procs, req.Banks)
+	var (
+		runtime    stats.Sample
+		traffic    stats.Traffic
+		events     uint64
+		misses     uint64
+		persistent uint64
+		acquires   uint64
+		violations int
+		protoName  string
+	)
+	for i := 0; i < req.Seeds; i++ {
+		seed := req.Seed + int64(i)
+		m, err := machine.New(machine.Config{
+			Protocol:         req.Protocol,
+			Geom:             g,
+			Seed:             seed,
+			CheckConsistency: req.Check,
+			AuditTokens:      req.Check,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var progs []cpu.Program
+		var mon *workload.LockMonitor
+		switch req.Workload {
+		case "locking":
+			lc := workload.DefaultLocking(req.Locks)
+			lc.Acquires = req.Acquires
+			progs, mon = workload.LockingPrograms(lc, g.TotalProcs(), seed)
+		case "barrier":
+			bc := workload.DefaultBarrier(g.TotalProcs(), 0)
+			bc.Iterations = req.Barriers
+			progs, mon = workload.BarrierPrograms(bc, seed)
+		default:
+			params, err := experiments.CommercialParamsFor(req.Workload)
+			if err != nil {
+				return nil, err
+			}
+			params.TxnsPerProc = req.Txns
+			progs, mon = workload.CommercialPrograms(params, g.TotalProcs(), seed)
+		}
+		res, err := m.RunCtx(ctx, progs, 0)
+		if err != nil {
+			return nil, err
+		}
+		protoName = m.Proto.Name()
+		runtime.Add(float64(res.Runtime) / float64(sim.Nanosecond))
+		traffic.Merge(&res.Traffic)
+		events += res.Events
+		misses += res.Misses
+		persistent += res.Persistent
+		acquires += mon.Acquires
+		violations += len(mon.Violations)
+	}
+
+	resp := Response{
+		Protocol:   protoName,
+		Workload:   req.Workload,
+		Runs:       req.Seeds,
+		RuntimeNS:  runtime.Mean(),
+		Events:     events,
+		Misses:     misses,
+		Persistent: persistent,
+		Acquires:   acquires,
+		Violations: violations,
+		IntraBytes: traffic.TotalBytes(stats.IntraCMP),
+		IntraMsgs:  traffic.TotalMessages(stats.IntraCMP),
+		InterBytes: traffic.TotalBytes(stats.InterCMP),
+		InterMsgs:  traffic.TotalMessages(stats.InterCMP),
+	}
+	if req.Seeds > 1 {
+		resp.RuntimeCI = runtime.CI95()
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(&resp); err != nil {
+		return nil, fmt.Errorf("simd: encode response: %w", err)
+	}
+	return buf.Bytes(), nil
+}

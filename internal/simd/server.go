@@ -1,0 +1,268 @@
+package simd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the daemon's robustness envelope. The zero value is
+// usable; Normalize fills production defaults.
+type Config struct {
+	MaxConcurrent  int           // admission slots for simultaneously served misses
+	QueueDepth     int           // waiters beyond the slots before shedding with 429
+	CacheEntries   int           // LRU capacity of the result cache
+	CacheTTL       time.Duration // result body lifetime (<= 0: never expires)
+	DefaultTimeout time.Duration // per-request deadline when the request names none
+	MaxTimeout     time.Duration // ceiling clamped onto requested deadlines
+	DrainTimeout   time.Duration // graceful-shutdown budget before force-cancel
+	Chaos          bool          // accept the __panic/__hang test workloads
+}
+
+// Normalize fills zero fields with production defaults.
+func (c *Config) Normalize() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 10 * time.Minute
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+}
+
+// Daemon serves simulation experiments over HTTP/JSON. See the
+// package comment for the robustness contract.
+type Daemon struct {
+	cfg        Config
+	metrics    *Metrics
+	cache      *Cache
+	sem        chan struct{} // admission slots
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool // readiness flips off at the start of a drain
+	mux        *http.ServeMux
+}
+
+// New builds a daemon from cfg (normalized in place).
+func New(cfg Config) *Daemon {
+	cfg.Normalize()
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	d := &Daemon{
+		cfg:        cfg,
+		metrics:    &Metrics{},
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		mux:        http.NewServeMux(),
+	}
+	d.cache = NewCache(cfg.CacheEntries, cfg.CacheTTL, baseCtx, d.metrics)
+	d.mux.HandleFunc("/run", d.handleRun)
+	d.mux.HandleFunc("/healthz", d.handleHealthz)
+	d.mux.HandleFunc("/readyz", d.handleReadyz)
+	d.mux.HandleFunc("/metrics", d.handleMetrics)
+	return d
+}
+
+// Metrics exposes the daemon's counters (for tests and embedding).
+func (d *Daemon) Metrics() *Metrics { return d.metrics }
+
+// Handler returns the daemon's HTTP handler (for httptest servers).
+func (d *Daemon) Handler() http.Handler { return d.mux }
+
+// jsonError writes a fixed-shape JSON error body.
+func jsonError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(map[string]string{"error": msg})
+	w.Write(append(body, '\n'))
+}
+
+func (d *Daemon) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		jsonError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	d.metrics.Requests.Add(1)
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		d.metrics.BadInput.Add(1)
+		jsonError(w, http.StatusBadRequest, "decode request: "+err.Error())
+		return
+	}
+	req.Normalize()
+	if err := req.Validate(d.cfg.Chaos); err != nil {
+		d.metrics.BadInput.Add(1)
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := req.Key()
+
+	// Fast path: a cached body needs no admission slot and no deadline.
+	if body, ok := d.cache.Lookup(key); ok {
+		d.metrics.Completed.Add(1)
+		writeBody(w, body, "hit")
+		return
+	}
+
+	// Admission: take a slot or shed. The queue is bounded so overload
+	// turns into fast 429s with a Retry-After hint instead of a pile of
+	// goroutines all missing their deadlines.
+	select {
+	case d.sem <- struct{}{}:
+	default:
+		if d.metrics.Queued.Add(1) > int64(d.cfg.QueueDepth) {
+			d.metrics.Queued.Add(-1)
+			d.metrics.Shed.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(d.cfg.DefaultTimeout)))
+			jsonError(w, http.StatusTooManyRequests, "admission queue full")
+			return
+		}
+		select {
+		case d.sem <- struct{}{}:
+			d.metrics.Queued.Add(-1)
+		case <-r.Context().Done():
+			d.metrics.Queued.Add(-1)
+			d.metrics.Timeouts.Add(1)
+			jsonError(w, http.StatusGatewayTimeout, "timed out waiting for an admission slot")
+			return
+		}
+	}
+	d.metrics.InFlight.Add(1)
+	defer func() {
+		d.metrics.InFlight.Add(-1)
+		<-d.sem
+	}()
+
+	// Deadline: the request's own budget, clamped to the server
+	// ceiling; r.Context() additionally ends on client disconnect and
+	// on forced shutdown (it descends from the daemon's base context).
+	budget := d.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		budget = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if budget > d.cfg.MaxTimeout {
+		budget = d.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+
+	body, err := d.cache.Do(ctx, key, func(fctx context.Context) ([]byte, error) {
+		return runRequest(fctx, req)
+	})
+	switch {
+	case err == nil:
+		d.metrics.Completed.Add(1)
+		writeBody(w, body, "miss")
+	case errors.Is(err, ErrPanic):
+		// Panics.Add already happened in the cache lead.
+		jsonError(w, http.StatusInternalServerError, "internal error: run panicked")
+	case errors.Is(err, context.DeadlineExceeded):
+		d.metrics.Timeouts.Add(1)
+		jsonError(w, http.StatusGatewayTimeout, fmt.Sprintf("deadline %v exceeded", budget))
+	case errors.Is(err, context.Canceled):
+		d.metrics.Timeouts.Add(1)
+		jsonError(w, http.StatusGatewayTimeout, "request cancelled")
+	default:
+		d.metrics.Errors.Add(1)
+		jsonError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeBody(w http.ResponseWriter, body []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Simd-Cache", cacheState)
+	w.Write(body)
+}
+
+// retryAfterSeconds suggests how long a shed client should back off:
+// roughly one default request budget, at least a second.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(d / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (d *Daemon) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if d.draining.Load() || d.baseCtx.Err() != nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	d.metrics.WritePrometheus(w)
+}
+
+// Serve runs the daemon on ln until ctx is cancelled, then drains:
+// readiness flips to 503 (load balancers stop sending work), in-flight
+// requests get DrainTimeout to finish, and whatever is still running
+// afterwards is force-cancelled through the base context — the engines
+// abort within sim.CancelCheckEvery events, so shutdown is prompt even
+// mid-simulation. Returns nil on a clean drain.
+func (d *Daemon) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler: d.mux,
+		// Request contexts descend from baseCtx, which stays live
+		// through the drain window; baseCancel afterwards is the
+		// force-kill that unblocks queued and running handlers.
+		BaseContext: func(net.Listener) context.Context { return d.baseCtx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	d.draining.Store(true)
+
+	sctx, cancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	// Force-cancel anything the drain budget did not cover: flights
+	// and request contexts descend from baseCtx, so the simulators
+	// stop within their event bound and the handlers return.
+	d.baseCancel()
+	if err != nil {
+		// Give the now-cancelled handlers a moment to unwind so the
+		// process exits with closed connections rather than a knife.
+		fctx, fcancel := context.WithTimeout(context.Background(), time.Second)
+		defer fcancel()
+		err = srv.Shutdown(fctx)
+	}
+	return err
+}

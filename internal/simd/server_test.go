@@ -1,0 +1,297 @@
+package simd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tinyBody is a request small enough that a full run takes a few
+// milliseconds: a 2x2x1 machine doing 4 acquires over 2 locks.
+func tinyBody(seed int64) string {
+	return fmt.Sprintf(`{"protocol":"TokenCMP-dst1","workload":"locking","locks":2,"acquires":4,"cmps":2,"procs":2,"banks":1,"seed":%d}`, seed)
+}
+
+func post(t *testing.T, client *http.Client, url, body string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := client.Post(url+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(b)
+}
+
+// TestServerCollapsesDuplicates fires the same experiment from many
+// goroutines at once and asserts exactly one simulation ran and every
+// client received byte-identical bodies — the cache-key determinism
+// contract.
+func TestServerCollapsesDuplicates(t *testing.T) {
+	d := New(Config{MaxConcurrent: 4, QueueDepth: 32})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	const n = 12
+	bodies := make([]string, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _, bodies[i] = post(t, ts.Client(), ts.URL, tinyBody(1))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d body %s", i, codes[i], bodies[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Fatalf("client %d body diverged:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if runs := d.Metrics().Runs.Load(); runs != 1 {
+		t.Errorf("underlying runs = %d, want 1 (singleflight collapse)", runs)
+	}
+	// A follow-up request is a pure cache hit with the same bytes.
+	code, hdr, body := post(t, ts.Client(), ts.URL, tinyBody(1))
+	if code != http.StatusOK || body != bodies[0] {
+		t.Fatalf("cached replay: status %d, body match %t", code, body == bodies[0])
+	}
+	if hdr.Get("X-Simd-Cache") != "hit" {
+		t.Errorf("X-Simd-Cache = %q, want hit", hdr.Get("X-Simd-Cache"))
+	}
+}
+
+// TestServerShedsAtCapacity saturates one admission slot and a
+// depth-1 queue with hanging runs and asserts the next request is
+// shed with 429 and a Retry-After hint instead of queueing.
+func TestServerShedsAtCapacity(t *testing.T) {
+	d := New(Config{MaxConcurrent: 1, QueueDepth: 1, DefaultTimeout: 2 * time.Second, Chaos: true})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	hang := func(seed int64) string {
+		return fmt.Sprintf(`{"workload":"__hang","seed":%d,"timeout_ms":1500}`, seed)
+	}
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := int64(1); i <= 2; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			<-release
+			post(t, ts.Client(), ts.URL, hang(seed)) // times out with 504 eventually
+		}(i)
+	}
+	close(release)
+	// Wait until the slot is held and the queue position is taken.
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Metrics().InFlight.Load() < 1 || d.Metrics().Queued.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("saturation never reached: inflight=%d queued=%d",
+				d.Metrics().InFlight.Load(), d.Metrics().Queued.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	code, hdr, body := post(t, ts.Client(), ts.URL, hang(3))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d body %s, want 429", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 carried no Retry-After hint")
+	}
+	if d.Metrics().Shed.Load() != 1 {
+		t.Errorf("Shed = %d, want 1", d.Metrics().Shed.Load())
+	}
+	wg.Wait()
+}
+
+// TestServerDeadlineAbortsEngine gives a genuinely large simulation a
+// tiny budget and asserts the request comes back 504 promptly — the
+// deadline must reach the event loop, not just the HTTP layer.
+func TestServerDeadlineAbortsEngine(t *testing.T) {
+	d := New(Config{MaxConcurrent: 2, QueueDepth: 4})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	big := `{"protocol":"TokenCMP-dst1","workload":"locking","acquires":60000,"timeout_ms":50}`
+	start := time.Now()
+	code, _, body := post(t, ts.Client(), ts.URL, big)
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d body %s, want 504", code, body)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("504 took %v; the engine did not abort on deadline", elapsed)
+	}
+	if d.Metrics().Timeouts.Load() != 1 {
+		t.Errorf("Timeouts = %d, want 1", d.Metrics().Timeouts.Load())
+	}
+}
+
+// TestServerPanicIsolation asserts a poisoned request yields one 500
+// and leaves the daemon fully serviceable.
+func TestServerPanicIsolation(t *testing.T) {
+	d := New(Config{MaxConcurrent: 2, QueueDepth: 4, Chaos: true})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	code, _, body := post(t, ts.Client(), ts.URL, `{"workload":"__panic"}`)
+	if code != http.StatusInternalServerError || !strings.Contains(body, "panicked") {
+		t.Fatalf("panic request: status %d body %s", code, body)
+	}
+	if d.Metrics().Panics.Load() != 1 {
+		t.Errorf("Panics = %d, want 1", d.Metrics().Panics.Load())
+	}
+	code, _, body = post(t, ts.Client(), ts.URL, tinyBody(1))
+	if code != http.StatusOK {
+		t.Fatalf("daemon unhealthy after panic: status %d body %s", code, body)
+	}
+}
+
+// TestServerRejectsBadInput covers the 400 paths: malformed JSON,
+// unknown fields, unknown protocol, out-of-range values, and chaos
+// workloads without the chaos gate.
+func TestServerRejectsBadInput(t *testing.T) {
+	d := New(Config{})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	for _, body := range []string{
+		`{`,
+		`{"bogus_field":1}`,
+		`{"protocol":"NoSuchCMP"}`,
+		`{"workload":"knitting"}`,
+		`{"cmps":999}`,
+		`{"seeds":-2}`,
+		`{"workload":"__panic"}`, // chaos gate off
+	} {
+		code, _, resp := post(t, ts.Client(), ts.URL, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("body %s: status %d (%s), want 400", body, code, resp)
+		}
+	}
+	if got := d.Metrics().BadInput.Load(); got != 7 {
+		t.Errorf("BadInput = %d, want 7", got)
+	}
+}
+
+// TestServerResponseShape decodes a body back into Response and spot
+// checks the simulation actually happened.
+func TestServerResponseShape(t *testing.T) {
+	d := New(Config{})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	code, _, body := post(t, ts.Client(), ts.URL, tinyBody(7))
+	if code != http.StatusOK {
+		t.Fatalf("status %d body %s", code, body)
+	}
+	var resp Response
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Protocol != "TokenCMP-dst1" || resp.Runs != 1 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if resp.Events == 0 || resp.Acquires != 2*2*4 {
+		t.Errorf("no simulation evidence in %+v", resp)
+	}
+	if resp.Violations != 0 {
+		t.Errorf("mutual exclusion violated: %+v", resp)
+	}
+}
+
+// TestServeDrain runs the real Serve loop, parks a hanging request in
+// it, cancels the serve context, and asserts: readiness flips to 503,
+// the hanging run is force-cancelled after the drain budget, and
+// Serve returns.
+func TestServeDrain(t *testing.T) {
+	d := New(Config{
+		MaxConcurrent: 2, QueueDepth: 4, Chaos: true,
+		DefaultTimeout: 30 * time.Second,
+		DrainTimeout:   150 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- d.Serve(ctx, ln) }()
+	url := "http://" + ln.Addr().String()
+
+	get := func(path string) int {
+		resp, err := http.Get(url + path)
+		if err != nil {
+			return -1
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor(func() bool { return get("/readyz") == http.StatusOK }, "readiness")
+
+	// Park a request that will only end when force-cancelled.
+	hangDone := make(chan struct {
+		code int
+		body string
+	}, 1)
+	go func() {
+		resp, err := http.Post(url+"/run", "application/json",
+			bytes.NewReader([]byte(`{"workload":"__hang"}`)))
+		if err != nil {
+			hangDone <- struct {
+				code int
+				body string
+			}{-1, err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		hangDone <- struct {
+			code int
+			body string
+		}{resp.StatusCode, string(b)}
+	}()
+	waitFor(func() bool { return d.Metrics().InFlight.Load() == 1 }, "the hanging run")
+
+	cancel()
+	waitFor(func() bool { return get("/readyz") != http.StatusOK }, "readiness to drop")
+
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("Serve returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve never returned after cancellation")
+	}
+	select {
+	case r := <-hangDone:
+		// The force-cancel turns the hang into a 504/cancelled response
+		// (or a torn connection if the server closed first) — either
+		// way the handler goroutine ended.
+		t.Logf("hanging request resolved: code=%d body=%s", r.code, r.body)
+	case <-time.After(2 * time.Second):
+		t.Fatal("hanging request still alive after drain + force-cancel")
+	}
+}

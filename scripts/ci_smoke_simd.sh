@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# CI smoke test for the simd daemon: build it, serve a real workload,
+# prove that duplicate concurrent requests collapse onto one underlying
+# simulation with byte-identical response bodies, that a replay is a
+# cache hit, and that SIGTERM drains cleanly (exit 0).
+set -euo pipefail
+
+ADDR=127.0.0.1:18123
+WORKDIR=$(mktemp -d)
+trap 'kill -9 "$SIMD_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+go build -o "$WORKDIR/simd" ./cmd/simd
+"$WORKDIR/simd" -addr "$ADDR" >"$WORKDIR/simd.log" 2>&1 &
+SIMD_PID=$!
+
+# Wait for readiness (the daemon binds before printing its banner).
+for _ in $(seq 1 50); do
+  curl -fsS "$ADDR/readyz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$ADDR/healthz" >/dev/null
+
+BODY='{"protocol":"TokenCMP-dst1","workload":"locking","locks":4,"acquires":16,"cmps":2,"procs":2,"banks":1}'
+
+# Fire 8 identical requests concurrently (wait on the curl PIDs only;
+# a bare `wait` would also wait on the daemon).
+CURL_PIDS=()
+for i in $(seq 1 8); do
+  curl -fsS -X POST "$ADDR/run" -d "$BODY" -o "$WORKDIR/resp-$i.json" &
+  CURL_PIDS+=("$!")
+done
+for pid in "${CURL_PIDS[@]}"; do
+  wait "$pid"
+done
+
+# Every client saw byte-identical bodies.
+for i in $(seq 2 8); do
+  cmp "$WORKDIR/resp-1.json" "$WORKDIR/resp-$i.json"
+done
+
+# Exactly one underlying simulation ran (singleflight collapse).
+runs=$(curl -fsS "$ADDR/metrics" | awk '/^simd_runs_total/ {print $2}')
+if [ "$runs" != "1" ]; then
+  echo "expected 1 underlying run for 8 duplicate requests, got $runs" >&2
+  exit 1
+fi
+
+# A later replay is a cache hit with the same bytes.
+hit=$(curl -fsS -D - -X POST "$ADDR/run" -d "$BODY" -o "$WORKDIR/resp-replay.json" |
+  tr -d '\r' | awk -F': ' '/^X-Simd-Cache/ {print $2}')
+cmp "$WORKDIR/resp-1.json" "$WORKDIR/resp-replay.json"
+if [ "$hit" != "hit" ]; then
+  echo "replay was not served from the cache (X-Simd-Cache=$hit)" >&2
+  exit 1
+fi
+
+# SIGTERM drains cleanly: exit status 0 and the drain banner.
+kill -TERM "$SIMD_PID"
+wait "$SIMD_PID"
+grep -q "drained cleanly" "$WORKDIR/simd.log"
+echo "simd smoke OK"
