@@ -1,13 +1,17 @@
 // simd is the simulation-as-a-service daemon: an HTTP/JSON front end
 // over the deterministic M-CMP simulator. Identical experiments are
-// collapsed onto one run and served from an LRU+TTL result cache,
-// overload sheds with 429 + Retry-After, every request carries a
+// collapsed onto one run and served from an LRU+TTL result cache that
+// can mirror itself to disk (-cache-dir) and survive kill -9, overload
+// sheds with 429 + Retry-After scaled by queue pressure in per-cost-
+// class admission pools, inputs that repeatedly crash the engine are
+// negatively cached and answered 422, every request carries a
 // wall-clock deadline that aborts the engine within a bounded number
-// of events, and SIGINT/SIGTERM drains in-flight runs before exit.
+// of events, and SIGINT/SIGTERM drains in-flight runs and pending
+// cache flushes before exit.
 //
 // Usage:
 //
-//	simd -addr :8080
+//	simd -addr :8080 -cache-dir /var/lib/simd
 //	curl -s localhost:8080/run -d '{"protocol":"TokenCMP-dst1","workload":"locking"}'
 //	curl -s localhost:8080/metrics
 package main
@@ -27,36 +31,59 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		workers = flag.Int("workers", 4, "admission slots (simultaneously served cache misses)")
-		queue   = flag.Int("queue", 16, "waiting requests beyond the slots before shedding with 429")
-		entries = flag.Int("cache-entries", 256, "result cache capacity (bodies)")
-		ttl     = flag.Duration("cache-ttl", 10*time.Minute, "result cache entry lifetime")
-		reqTo   = flag.Duration("request-timeout", 30*time.Second, "default per-request deadline")
-		maxTo   = flag.Duration("max-timeout", 5*time.Minute, "ceiling clamped onto requested deadlines")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight runs")
-		chaos   = flag.Bool("chaos", false, "accept the __panic/__hang test workloads (smoke tests only)")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers  = flag.Int("workers", 4, "total admission slots, split across cost classes (see -light/-heavy/-reserve)")
+		queue    = flag.Int("queue", 16, "total waiting requests beyond the slots before shedding with 429")
+		light    = flag.Int("light", 0, "dedicated light-class slots (0: derive from -workers)")
+		heavy    = flag.Int("heavy", 0, "dedicated heavy-class slots (0: derive from -workers)")
+		reserve  = flag.Int("reserve", 0, "shared overflow slots either class may borrow (0: derive from -workers)")
+		heavyOps = flag.Int64("heavy-ops", simd.DefaultHeavyOpsThreshold, "estimated ops at or above which a request competes in the heavy class")
+		entries  = flag.Int("cache-entries", 256, "result cache capacity (bodies)")
+		ttl      = flag.Duration("cache-ttl", 10*time.Minute, "result cache entry lifetime")
+		dir      = flag.String("cache-dir", "", "durable cache directory; results survive restarts (empty: memory-only)")
+		brkN     = flag.Int("breaker-panics", 3, "engine panics for one key before it is negatively cached (-1: disable)")
+		brkCool  = flag.Duration("breaker-cooldown", time.Minute, "how long a poisoned key is answered 422 before a probe retry")
+		reqTo    = flag.Duration("request-timeout", 30*time.Second, "default per-request deadline")
+		maxTo    = flag.Duration("max-timeout", 5*time.Minute, "ceiling clamped onto requested deadlines")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight runs and cache flushes")
+		chaos    = flag.Bool("chaos", false, "accept the __panic/__hang test workloads (smoke tests only)")
 	)
 	flag.Parse()
 
-	d := simd.New(simd.Config{
-		MaxConcurrent:  *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *entries,
-		CacheTTL:       *ttl,
-		DefaultTimeout: *reqTo,
-		MaxTimeout:     *maxTo,
-		DrainTimeout:   *drain,
-		Chaos:          *chaos,
+	d, err := simd.New(simd.Config{
+		MaxConcurrent:     *workers,
+		QueueDepth:        *queue,
+		LightSlots:        *light,
+		HeavySlots:        *heavy,
+		ReserveSlots:      *reserve,
+		HeavyOpsThreshold: *heavyOps,
+		CacheEntries:      *entries,
+		CacheTTL:          *ttl,
+		CacheDir:          *dir,
+		BreakerPanics:     *brkN,
+		BreakerCooldown:   *brkCool,
+		DefaultTimeout:    *reqTo,
+		MaxTimeout:        *maxTo,
+		DrainTimeout:      *drain,
+		Chaos:             *chaos,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simd:", err)
+		os.Exit(1)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("simd: listening on %s (workers=%d queue=%d cache=%d ttl=%v)\n",
-		ln.Addr(), *workers, *queue, *entries, *ttl)
+	persist := "memory-only"
+	if *dir != "" {
+		persist = fmt.Sprintf("dir=%s restored=%d torn=%d expired=%d",
+			*dir, d.Metrics().Restored.Load(), d.Metrics().RestoreTorn.Load(), d.Metrics().RestoreExpired.Load())
+	}
+	fmt.Printf("simd: listening on %s (workers=%d queue=%d cache=%d ttl=%v %s)\n",
+		ln.Addr(), *workers, *queue, *entries, *ttl, persist)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

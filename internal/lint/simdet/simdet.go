@@ -63,7 +63,7 @@ var Analyzer = &analysis.Analyzer{
 // only serving policy (deadlines, TTLs, backoff hints). The map-range
 // and math/rand checks still apply to sanctioned packages in full.
 var wallClockSanctioned = map[string]string{
-	"tokencmp/internal/simd": "serving layer: deadlines, cache TTLs, and Retry-After hints are wall-clock policy by design; response bodies are a pure function of the request's cache key",
+	"tokencmp/internal/simd": "serving layer: deadlines, cache TTLs, Retry-After hints, breaker cooldowns, and the durable store's persisted absolute expiries are wall-clock policy by design; response bodies are a pure function of the request's cache key, and the on-disk entry frame carries its own expiry timestamp so recovery never consults file mtimes",
 }
 
 func run(pass *analysis.Pass) (any, error) {

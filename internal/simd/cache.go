@@ -29,6 +29,7 @@ type Cache struct {
 	ttl     time.Duration // <= 0 means entries never expire
 	baseCtx context.Context
 	metrics *Metrics
+	store   *Store           // durable write-behind mirror; nil = memory-only
 	now     func() time.Time // injected by tests; time.Now in production
 
 	mu       sync.Mutex
@@ -40,7 +41,7 @@ type Cache struct {
 type entry struct {
 	key     string
 	body    []byte
-	expires time.Time
+	expires time.Time // zero = never expires
 }
 
 // flight is one running computation plus the bookkeeping to collapse
@@ -98,7 +99,7 @@ func (c *Cache) Lookup(key string) ([]byte, bool) {
 		return nil, false
 	}
 	e := el.Value.(*entry)
-	if c.ttl > 0 && !c.now().Before(e.expires) {
+	if e.expired(c.now()) {
 		c.removeLocked(el)
 		c.metrics.Expired.Add(1)
 		return nil, false
@@ -106,6 +107,13 @@ func (c *Cache) Lookup(key string) ([]byte, bool) {
 	c.order.MoveToFront(el)
 	c.metrics.Hits.Add(1)
 	return e.body, true
+}
+
+// expired reports whether the entry's absolute expiry (possibly
+// restored from disk, so not necessarily now+TTL) has passed. A zero
+// expiry never expires.
+func (e *entry) expired(now time.Time) bool {
+	return !e.expires.IsZero() && !now.Before(e.expires)
 }
 
 // Do returns the body for key, computing it with fn at most once no
@@ -120,7 +128,7 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(context.Context) ([]
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*entry)
-		if c.ttl <= 0 || c.now().Before(e.expires) {
+		if !e.expired(c.now()) {
 			c.order.MoveToFront(el)
 			c.mu.Unlock()
 			c.metrics.Hits.Add(1)
@@ -188,20 +196,53 @@ func (c *Cache) lead(key string, f *flight, fctx context.Context, fn func(contex
 }
 
 func (c *Cache) insertLocked(key string, body []byte) {
+	var exp time.Time
+	if c.ttl > 0 {
+		exp = c.now().Add(c.ttl)
+	}
+	c.placeLocked(key, body, exp)
+	if c.store != nil {
+		c.store.Put(key, body, exp)
+	}
+}
+
+// placeLocked installs a body with an explicit absolute expiry at the
+// front of the LRU, evicting past capacity, without touching the
+// durable store — the shared tail of a fresh insert (which persists)
+// and a boot-time restore (whose bytes are already on disk).
+func (c *Cache) placeLocked(key string, body []byte, exp time.Time) {
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*entry)
-		e.body, e.expires = body, c.now().Add(c.ttl)
+		e.body, e.expires = body, exp
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&entry{key: key, body: body, expires: c.now().Add(c.ttl)})
+	c.entries[key] = c.order.PushFront(&entry{key: key, body: body, expires: exp})
 	for c.order.Len() > c.max {
 		c.removeLocked(c.order.Back())
 		c.metrics.Evicted.Add(1)
 	}
 }
 
+// restore repopulates the LRU from entries recovered off disk,
+// preserving each entry's original absolute expiry (a result written
+// 9 minutes ago keeps 1 minute of life, not a fresh TTL). The slice
+// arrives freshest-first from Store.Restore; inserting in reverse
+// leaves the freshest at the LRU front.
+func (c *Cache) restore(entries []RestoredEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		c.placeLocked(e.Key, e.Body, e.Expires)
+	}
+}
+
 func (c *Cache) removeLocked(el *list.Element) {
 	c.order.Remove(el)
-	delete(c.entries, el.Value.(*entry).key)
+	key := el.Value.(*entry).key
+	delete(c.entries, key)
+	if c.store != nil {
+		c.store.Delete(key)
+	}
 }

@@ -18,15 +18,34 @@ type Metrics struct {
 	Collapsed atomic.Uint64 // joined an already-running identical flight
 	Runs      atomic.Uint64 // underlying simulation flights started
 	Completed atomic.Uint64 // responses served with 200
-	Shed      atomic.Uint64 // rejected with 429 at queue capacity
+	Shed      atomic.Uint64 // rejected with 429 at queue capacity (all classes)
 	Timeouts  atomic.Uint64 // deadline expired (504)
 	Panics    atomic.Uint64 // worker panics isolated to a 500
 	Errors    atomic.Uint64 // other run failures (500)
 	Evicted   atomic.Uint64 // cache entries dropped by LRU capacity
 	Expired   atomic.Uint64 // cache entries dropped by TTL
 
+	// Per-class admission outcomes, indexed by Class.
+	ClassAdmitted [numClasses]atomic.Uint64 // took a slot (own pool or reserve)
+	ClassShed     [numClasses]atomic.Uint64 // rejected with 429, by class
+
+	// Durable-store counters. The Restore* trio is written once at
+	// boot and is the crash-restart smoke test's evidence that the
+	// recovery pass both happened and discarded what it had to.
+	Restored       atomic.Uint64 // entries recovered into the LRU at boot
+	RestoreTorn    atomic.Uint64 // torn/corrupt/stale-tmp files discarded at boot
+	RestoreExpired atomic.Uint64 // entries past their TTL discarded at boot
+	PersistWritten atomic.Uint64 // entries durably written (tmp+rename complete)
+	PersistDeleted atomic.Uint64 // backing files removed (eviction, expiry, trim)
+	PersistDropped atomic.Uint64 // write-behind ops dropped (queue full or drain cutoff)
+	PersistErrors  atomic.Uint64 // write-behind ops that failed with an I/O error
+
+	// Poison-input circuit breaker.
+	BreakerOpen     atomic.Uint64 // closed→open transitions (a key got negatively cached)
+	BreakerRejected atomic.Uint64 // requests answered 422 while their key was open
+
 	InFlight atomic.Int64 // requests holding an admission slot
-	Queued   atomic.Int64 // requests waiting for an admission slot
+	Queued   atomic.Int64 // requests waiting for an admission slot (all classes)
 }
 
 // WritePrometheus renders the counters in Prometheus text
@@ -38,6 +57,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	}
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP simd_%s %s\n# TYPE simd_%s gauge\nsimd_%s %d\n", name, help, name, name, v)
+	}
+	classCounter := func(name, help string, vs *[numClasses]atomic.Uint64) {
+		fmt.Fprintf(w, "# HELP simd_%s %s\n# TYPE simd_%s counter\n", name, help, name)
+		for c := ClassLight; c < numClasses; c++ {
+			fmt.Fprintf(w, "simd_%s{class=%q} %d\n", name, c.String(), vs[c].Load())
+		}
 	}
 	counter("requests_total", "run requests received", m.Requests.Load())
 	counter("bad_input_total", "requests rejected with 400", m.BadInput.Load())
@@ -51,6 +76,17 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("errors_total", "run failures other than timeouts and panics", m.Errors.Load())
 	counter("cache_evicted_total", "cache entries dropped by LRU capacity", m.Evicted.Load())
 	counter("cache_expired_total", "cache entries dropped by TTL", m.Expired.Load())
+	classCounter("admitted_total", "requests that took an admission slot, by class", &m.ClassAdmitted)
+	classCounter("class_shed_total", "requests shed with 429, by class", &m.ClassShed)
+	counter("persist_restored_total", "cache entries recovered from disk at boot", m.Restored.Load())
+	counter("persist_torn_discarded_total", "torn or corrupt on-disk entries discarded at boot", m.RestoreTorn.Load())
+	counter("persist_expired_discarded_total", "on-disk entries past their TTL discarded at boot", m.RestoreExpired.Load())
+	counter("persist_written_total", "cache entries durably written to disk", m.PersistWritten.Load())
+	counter("persist_deleted_total", "on-disk cache entries removed", m.PersistDeleted.Load())
+	counter("persist_dropped_total", "write-behind operations dropped", m.PersistDropped.Load())
+	counter("persist_errors_total", "write-behind operations failed with I/O errors", m.PersistErrors.Load())
+	counter("breaker_open_total", "poison-input breaker open transitions", m.BreakerOpen.Load())
+	counter("breaker_rejected_total", "requests answered 422 by an open breaker", m.BreakerRejected.Load())
 	gauge("in_flight", "requests holding an admission slot", m.InFlight.Load())
 	gauge("queued", "requests waiting for an admission slot", m.Queued.Load())
 }

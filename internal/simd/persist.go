@@ -1,0 +1,402 @@
+package simd
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Store is the durable half of the result cache: a write-behind
+// one-file-per-entry mirror of the in-memory LRU under a directory the
+// operator owns. The contract:
+//
+//   - Writes are atomic. A flusher goroutine writes each entry to a
+//     .tmp file and renames it into place; readers never observe a
+//     half-written final file through the rename itself.
+//   - Torn writes are detected anyway. A kill -9 can leave a stale
+//     .tmp behind, and a crashing filesystem can in principle persist
+//     a rename before the data. Every entry therefore carries a
+//     length-prefixed, CRC-checksummed frame; Restore discards (and
+//     deletes) anything that does not parse, counts it, and never
+//     fails boot over it.
+//   - TTL survives restarts. The frame stores the absolute expiry
+//     time, so an entry written 9 minutes before a crash has 1 minute
+//     of life after reboot, not a fresh TTL.
+//   - Disk mirrors memory. LRU eviction and TTL expiry delete the
+//     backing file; Restore keeps at most the cache capacity and
+//     deletes the excess, so the directory stays bounded.
+//
+// Losing a write-behind flush to a crash is safe by construction: the
+// cache key is a pure function of the request, so a missing entry is
+// recomputed to byte-identical bytes on the next request.
+type Store struct {
+	dir     string
+	metrics *Metrics
+
+	mu       sync.Mutex
+	queue    []persistOp // pending write-behind operations, FIFO
+	inflight bool        // the flusher has popped an op it is still applying
+	closed   bool
+	wake     chan struct{} // buffered(1): nudges the flusher
+	done     chan struct{} // closed when the flusher exits
+	flushed  chan struct{} // buffered(1): nudges Drain waiters
+
+	// beforeRename, when set by tests, runs between writing an entry's
+	// .tmp file and renaming it into place — the window a drain must
+	// either finish or cleanly abandon.
+	beforeRename func()
+}
+
+// persistOp is one queued write-behind action: a body to persist
+// (put) or a key to remove (body nil).
+type persistOp struct {
+	key     string
+	body    []byte
+	expires time.Time
+}
+
+// Frame layout (all integers little-endian):
+//
+//	offset 0   4      5        9         9+K     17+K    21+K      21+K+B
+//	       ┌───┬──────┬────────┬─────────┬───────┬───────┬─────────┐
+//	       │magic│ver │ keyLen │ key     │expires│bodyLen│ body    │ crc32
+//	       └───┴──────┴────────┴─────────┴───────┴───────┴─────────┘
+//
+// magic is "SCE0", version is 1, expires is UnixNano (0 = never), and
+// the trailing crc32 (IEEE) covers every preceding byte. A file that
+// is short, misframed, or checksum-mismatched is a torn write.
+const (
+	frameMagic   = "SCE0"
+	frameVersion = 1
+	entryExt     = ".sce"
+	tmpExt       = ".tmp"
+
+	// persistQueueMax bounds the write-behind queue; beyond it new
+	// puts are dropped (and counted) rather than blocking the serving
+	// path — the entry stays in memory and can be recomputed.
+	persistQueueMax = 1024
+)
+
+// errTorn marks a file that failed frame validation.
+var errTorn = errors.New("simd: torn or corrupt cache entry")
+
+// OpenStore prepares dir (creating it if needed), removes stale .tmp
+// files from a previous crash, and starts the write-behind flusher.
+func OpenStore(dir string, metrics *Metrics) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simd: cache dir: %w", err)
+	}
+	if metrics == nil {
+		metrics = &Metrics{}
+	}
+	s := &Store{
+		dir:     dir,
+		metrics: metrics,
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		flushed: make(chan struct{}, 1),
+	}
+	go s.flusher()
+	return s, nil
+}
+
+// Dir reports the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entryPath names the file for a key: a hex SHA-256 of the key, so
+// arbitrary key bytes map to a fixed-length portable filename and the
+// key itself still travels inside the frame for verification.
+func (s *Store) entryPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+entryExt)
+}
+
+// Put schedules key's body for write-behind persistence. It never
+// blocks: if the queue is full the write is dropped and counted —
+// the entry remains serveable from memory and recomputable after a
+// restart.
+func (s *Store) Put(key string, body []byte, expires time.Time) {
+	s.enqueue(persistOp{key: key, body: body, expires: expires})
+}
+
+// Delete schedules removal of key's backing file (write-behind, same
+// ordering as Put: a Delete queued after a Put wins).
+func (s *Store) Delete(key string) {
+	s.enqueue(persistOp{key: key})
+}
+
+func (s *Store) enqueue(op persistOp) {
+	s.mu.Lock()
+	if s.closed || len(s.queue) >= persistQueueMax {
+		dropped := !s.closed
+		s.mu.Unlock()
+		if dropped {
+			s.metrics.PersistDropped.Add(1)
+		}
+		return
+	}
+	s.queue = append(s.queue, op)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// flusher drains the queue in order until Close. Each op is applied
+// atomically; failures are counted, never fatal.
+func (s *Store) flusher() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 {
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			<-s.wake
+			s.mu.Lock()
+		}
+		op := s.queue[0]
+		s.queue = s.queue[1:]
+		s.inflight = true
+		s.mu.Unlock()
+		s.apply(op)
+		s.mu.Lock()
+		s.inflight = false
+		s.mu.Unlock()
+		select {
+		case s.flushed <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (s *Store) apply(op persistOp) {
+	if op.body == nil {
+		if err := os.Remove(s.entryPath(op.key)); err == nil {
+			s.metrics.PersistDeleted.Add(1)
+		}
+		return
+	}
+	if err := s.writeEntry(op); err != nil {
+		s.metrics.PersistErrors.Add(1)
+		return
+	}
+	s.metrics.PersistWritten.Add(1)
+}
+
+// writeEntry writes the framed entry to a .tmp file and renames it
+// into place. On any failure the .tmp is removed — a crash or drain
+// abandons cleanly, never leaving a torn final file.
+func (s *Store) writeEntry(op persistOp) (err error) {
+	final := s.entryPath(op.key)
+	tmp := final + tmpExt
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	frame := encodeFrame(op.key, op.body, op.expires)
+	if _, err = f.Write(frame); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if s.beforeRename != nil {
+		s.beforeRename()
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		// Drain cut us off mid-flush: abandon the tmp file rather
+		// than racing the process exit with a rename.
+		return errors.New("simd: store closed mid-flush")
+	}
+	return os.Rename(tmp, final)
+}
+
+// encodeFrame renders the on-disk entry frame for key/body.
+func encodeFrame(key string, body []byte, expires time.Time) []byte {
+	var expNano int64
+	if !expires.IsZero() {
+		expNano = expires.UnixNano()
+	}
+	n := len(frameMagic) + 1 + 4 + len(key) + 8 + 4 + len(body) + 4
+	buf := make([]byte, 0, n)
+	buf = append(buf, frameMagic...)
+	buf = append(buf, frameVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(expNano))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)))
+	buf = append(buf, body...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// decodeFrame parses an on-disk entry, returning errTorn for any
+// framing or checksum violation.
+func decodeFrame(raw []byte) (key string, body []byte, expires time.Time, err error) {
+	hdr := len(frameMagic) + 1 + 4
+	if len(raw) < hdr+8+4+4 || string(raw[:len(frameMagic)]) != frameMagic || raw[len(frameMagic)] != frameVersion {
+		return "", nil, time.Time{}, errTorn
+	}
+	keyLen := int(binary.LittleEndian.Uint32(raw[len(frameMagic)+1:]))
+	if keyLen < 0 || len(raw) < hdr+keyLen+8+4+4 {
+		return "", nil, time.Time{}, errTorn
+	}
+	key = string(raw[hdr : hdr+keyLen])
+	off := hdr + keyLen
+	expNano := int64(binary.LittleEndian.Uint64(raw[off:]))
+	off += 8
+	bodyLen := int(binary.LittleEndian.Uint32(raw[off:]))
+	off += 4
+	if bodyLen < 0 || len(raw) != off+bodyLen+4 {
+		return "", nil, time.Time{}, errTorn
+	}
+	body = raw[off : off+bodyLen]
+	off += bodyLen
+	if binary.LittleEndian.Uint32(raw[off:]) != crc32.ChecksumIEEE(raw[:off]) {
+		return "", nil, time.Time{}, errTorn
+	}
+	if expNano != 0 {
+		expires = time.Unix(0, expNano)
+	}
+	return key, body, expires, nil
+}
+
+// RestoredEntry is one cache body recovered from disk by Restore.
+type RestoredEntry struct {
+	Key     string
+	Body    []byte
+	Expires time.Time // zero = never expires
+}
+
+// Restore scans the directory once at boot: stale .tmp files and torn
+// or corrupt entries are deleted and counted, expired entries (by the
+// frame's own absolute expiry, evaluated at now) are deleted and
+// counted, and at most max healthy entries are returned for LRU
+// repopulation — freshest first, by expiry time. Entries beyond max
+// are deleted so the directory stays bounded by the cache capacity.
+// Restore never fails the boot over individual bad files.
+func (s *Store) Restore(max int, now time.Time) ([]RestoredEntry, error) {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("simd: restore scan: %w", err)
+	}
+	var live []RestoredEntry
+	for _, de := range names {
+		name := de.Name()
+		path := filepath.Join(s.dir, name)
+		switch {
+		case filepath.Ext(name) == tmpExt:
+			// A flush the previous process never renamed: abandoned by
+			// contract, torn by definition.
+			os.Remove(path)
+			s.metrics.RestoreTorn.Add(1)
+			continue
+		case filepath.Ext(name) != entryExt:
+			continue // not ours; leave it alone
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			s.metrics.RestoreTorn.Add(1)
+			os.Remove(path)
+			continue
+		}
+		key, body, expires, err := decodeFrame(raw)
+		if err != nil || s.entryPath(key) != path {
+			// Torn frame, or a healthy frame under the wrong filename
+			// (a renamed/copied entry would serve the wrong key).
+			s.metrics.RestoreTorn.Add(1)
+			os.Remove(path)
+			continue
+		}
+		if !expires.IsZero() && !now.Before(expires) {
+			s.metrics.RestoreExpired.Add(1)
+			os.Remove(path)
+			continue
+		}
+		live = append(live, RestoredEntry{Key: key, Body: body, Expires: expires})
+	}
+	// Freshest first: latest expiry wins a slot. Entries without
+	// expiry sort after dated ones in ReadDir's deterministic name
+	// order, which only matters when the directory overflows max.
+	sort.SliceStable(live, func(i, j int) bool {
+		return live[i].Expires.After(live[j].Expires)
+	})
+	if max >= 0 && len(live) > max {
+		for _, e := range live[max:] {
+			os.Remove(s.entryPath(e.Key))
+			s.metrics.PersistDeleted.Add(1)
+		}
+		live = live[:max]
+	}
+	s.metrics.Restored.Add(uint64(len(live)))
+	return live, nil
+}
+
+// Drain flushes the pending queue, waiting at most the given budget,
+// then closes the store. Whatever the budget does not cover is
+// abandoned cleanly: queued ops are dropped, and an in-flight entry's
+// .tmp file is removed instead of renamed, so the directory never
+// holds a torn final file. Drain is idempotent.
+func (s *Store) Drain(budget time.Duration) {
+	deadline := time.NewTimer(budget)
+	defer deadline.Stop()
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			<-s.done
+			return
+		}
+		if len(s.queue) == 0 && !s.inflight {
+			s.closed = true
+			s.mu.Unlock()
+			// Unblock the flusher's wait; it exits on closed+empty.
+			select {
+			case s.wake <- struct{}{}:
+			default:
+			}
+			<-s.done
+			return
+		}
+		s.mu.Unlock()
+		select {
+		case <-s.flushed:
+		case <-deadline.C:
+			s.mu.Lock()
+			s.metrics.PersistDropped.Add(uint64(len(s.queue)))
+			s.queue = nil
+			s.closed = true
+			s.mu.Unlock()
+			select {
+			case s.wake <- struct{}{}:
+			default:
+			}
+			<-s.done
+			return
+		}
+	}
+}

@@ -145,6 +145,37 @@ func (r *Request) Validate(chaos bool) error {
 	return nil
 }
 
+// EstimatedOps approximates the work a normalized request will do:
+// per-processor operation count for its workload family, times the
+// total processors, times the seeds, doubled when the coherence
+// monitors and token audit are on. It is a pure function of the
+// request, so the admission class it induces is stable across
+// retries, restarts, and replicas.
+func (r *Request) EstimatedOps() int64 {
+	perProc := int64(r.Acquires)
+	switch r.Workload {
+	case "barrier":
+		perProc = int64(r.Barriers)
+	case "OLTP", "Apache", "SPECjbb":
+		perProc = int64(r.Txns)
+	}
+	ops := int64(r.Seeds) * perProc * int64(r.CMPs*r.Procs)
+	if r.Check {
+		ops *= 2
+	}
+	return ops
+}
+
+// Class buckets the request for admission: at or above threshold
+// estimated ops it competes in the heavy pool, below it in the light
+// one. threshold <= 0 disables the split (everything is light).
+func (r *Request) Class(threshold int64) Class {
+	if threshold > 0 && r.EstimatedOps() >= threshold {
+		return ClassHeavy
+	}
+	return ClassLight
+}
+
 // Key is the cache identity of the experiment: every field that can
 // change the simulation result, in a fixed order, and nothing else
 // (TimeoutMS steers serving, not simulation). Two requests with equal

@@ -15,15 +15,45 @@ import (
 // Config tunes the daemon's robustness envelope. The zero value is
 // usable; Normalize fills production defaults.
 type Config struct {
-	MaxConcurrent  int           // admission slots for simultaneously served misses
-	QueueDepth     int           // waiters beyond the slots before shedding with 429
+	MaxConcurrent  int           // total admission slots; split across classes unless set explicitly
+	QueueDepth     int           // total waiters beyond the slots; split across classes unless set explicitly
 	CacheEntries   int           // LRU capacity of the result cache
 	CacheTTL       time.Duration // result body lifetime (<= 0: never expires)
+	CacheDir       string        // durable cache directory ("" = memory-only, exactly the PR 9 behavior)
 	DefaultTimeout time.Duration // per-request deadline when the request names none
 	MaxTimeout     time.Duration // ceiling clamped onto requested deadlines
 	DrainTimeout   time.Duration // graceful-shutdown budget before force-cancel
 	Chaos          bool          // accept the __panic/__hang test workloads
+
+	// Per-class admission. When the three slot fields are all zero,
+	// Normalize derives them from MaxConcurrent (see splitSlots);
+	// likewise the two queue fields from QueueDepth. Setting any
+	// field in a group takes that group as-is.
+	LightSlots   int // dedicated slots only light requests may hold
+	HeavySlots   int // dedicated slots only heavy requests may hold
+	ReserveSlots int // shared overflow either class may borrow
+	LightQueue   int // light-class waiters beyond the slots before shedding
+	HeavyQueue   int // heavy-class waiters beyond the slots before shedding
+
+	// HeavyOpsThreshold classifies requests: at or above this many
+	// estimated operations (Request.EstimatedOps) a request competes
+	// in the heavy pool. <= 0 selects the default; to disable the
+	// split, give one class all the slots instead.
+	HeavyOpsThreshold int64
+
+	// Poison-input circuit breaker: after BreakerPanics consecutive
+	// engine panics for one cache key, the key is answered 422 for
+	// BreakerCooldown instead of re-running. BreakerPanics < 0
+	// disables the breaker; 0 selects the default.
+	BreakerPanics   int
+	BreakerCooldown time.Duration
 }
+
+// DefaultHeavyOpsThreshold splits the classes at 100k estimated
+// operations: the default request (1 seed x 64 acquires x 16 procs ≈
+// 1k ops) is deeply light, while a paper-scale sweep (8 seeds x a few
+// thousand ops per proc) lands heavy.
+const DefaultHeavyOpsThreshold = 100_000
 
 // Normalize fills zero fields with production defaults.
 func (c *Config) Normalize() {
@@ -48,6 +78,43 @@ func (c *Config) Normalize() {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.LightSlots == 0 && c.HeavySlots == 0 && c.ReserveSlots == 0 {
+		c.LightSlots, c.HeavySlots, c.ReserveSlots = splitSlots(c.MaxConcurrent)
+	}
+	if c.LightQueue == 0 && c.HeavyQueue == 0 {
+		q := c.QueueDepth / 2
+		if q < 1 {
+			q = 1
+		}
+		c.LightQueue, c.HeavyQueue = q, q
+	}
+	if c.HeavyOpsThreshold == 0 {
+		c.HeavyOpsThreshold = DefaultHeavyOpsThreshold
+	}
+	if c.BreakerPanics == 0 {
+		c.BreakerPanics = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Minute
+	}
+}
+
+// splitSlots derives the class pools from an aggregate slot count:
+// a quarter (at least one) becomes the shared reserve, the rest is
+// split between the classes with light taking the remainder. Tiny
+// totals (< 3) go entirely to the reserve — with no room to dedicate,
+// the pools degenerate to PR 9's single shared semaphore.
+func splitSlots(total int) (light, heavy, reserve int) {
+	if total < 3 {
+		return 0, 0, total
+	}
+	reserve = total / 4
+	if reserve < 1 {
+		reserve = 1
+	}
+	heavy = (total - reserve) / 2
+	light = total - reserve - heavy
+	return light, heavy, reserve
 }
 
 // Daemon serves simulation experiments over HTTP/JSON. See the
@@ -56,31 +123,54 @@ type Daemon struct {
 	cfg        Config
 	metrics    *Metrics
 	cache      *Cache
-	sem        chan struct{} // admission slots
+	store      *Store // nil in memory-only mode
+	admit      *admission
+	breaker    *breaker
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	draining   atomic.Bool // readiness flips off at the start of a drain
 	mux        *http.ServeMux
 }
 
-// New builds a daemon from cfg (normalized in place).
-func New(cfg Config) *Daemon {
+// New builds a daemon from cfg (normalized in place). With a CacheDir
+// it opens the durable store and runs the bounded restore pass —
+// individual torn, corrupt, or expired files are discarded and
+// counted, never fatal; only an unusable directory errors.
+func New(cfg Config) (*Daemon, error) {
 	cfg.Normalize()
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	d := &Daemon{
 		cfg:        cfg,
 		metrics:    &Metrics{},
-		sem:        make(chan struct{}, cfg.MaxConcurrent),
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
 		mux:        http.NewServeMux(),
 	}
+	d.admit = newAdmission(cfg.LightSlots, cfg.HeavySlots, cfg.ReserveSlots,
+		cfg.LightQueue, cfg.HeavyQueue, d.metrics)
+	d.breaker = newBreaker(cfg.BreakerPanics, cfg.BreakerCooldown, d.metrics)
 	d.cache = NewCache(cfg.CacheEntries, cfg.CacheTTL, baseCtx, d.metrics)
+	if cfg.CacheDir != "" {
+		store, err := OpenStore(cfg.CacheDir, d.metrics)
+		if err != nil {
+			baseCancel()
+			return nil, err
+		}
+		restored, err := store.Restore(cfg.CacheEntries, time.Now())
+		if err != nil {
+			store.Drain(0)
+			baseCancel()
+			return nil, err
+		}
+		d.cache.restore(restored)
+		d.cache.store = store
+		d.store = store
+	}
 	d.mux.HandleFunc("/run", d.handleRun)
 	d.mux.HandleFunc("/healthz", d.handleHealthz)
 	d.mux.HandleFunc("/readyz", d.handleReadyz)
 	d.mux.HandleFunc("/metrics", d.handleMetrics)
-	return d
+	return d, nil
 }
 
 // Metrics exposes the daemon's counters (for tests and embedding).
@@ -88,6 +178,16 @@ func (d *Daemon) Metrics() *Metrics { return d.metrics }
 
 // Handler returns the daemon's HTTP handler (for httptest servers).
 func (d *Daemon) Handler() http.Handler { return d.mux }
+
+// Close force-cancels outstanding work and drains the durable store,
+// for daemons driven through Handler rather than Serve (tests).
+// Serve performs the same teardown itself.
+func (d *Daemon) Close() {
+	d.baseCancel()
+	if d.store != nil {
+		d.store.Drain(d.cfg.DrainTimeout)
+	}
+}
 
 // jsonError writes a fixed-shape JSON error body.
 func jsonError(w http.ResponseWriter, status int, msg string) {
@@ -119,40 +219,47 @@ func (d *Daemon) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	key := req.Key()
 
-	// Fast path: a cached body needs no admission slot and no deadline.
+	// Fast path: a cached body needs no admission slot, no deadline,
+	// and no breaker consultation (a cached body proves the key runs).
 	if body, ok := d.cache.Lookup(key); ok {
 		d.metrics.Completed.Add(1)
 		writeBody(w, body, "hit")
 		return
 	}
 
-	// Admission: take a slot or shed. The queue is bounded so overload
-	// turns into fast 429s with a Retry-After hint instead of a pile of
-	// goroutines all missing their deadlines.
-	select {
-	case d.sem <- struct{}{}:
-	default:
-		if d.metrics.Queued.Add(1) > int64(d.cfg.QueueDepth) {
-			d.metrics.Queued.Add(-1)
-			d.metrics.Shed.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(d.cfg.DefaultTimeout)))
-			jsonError(w, http.StatusTooManyRequests, "admission queue full")
-			return
-		}
-		select {
-		case d.sem <- struct{}{}:
-			d.metrics.Queued.Add(-1)
-		case <-r.Context().Done():
-			d.metrics.Queued.Add(-1)
-			d.metrics.Timeouts.Add(1)
-			jsonError(w, http.StatusGatewayTimeout, "timed out waiting for an admission slot")
-			return
-		}
+	// Poison-input breaker: a key that kept panicking the engine is
+	// negatively cached — answer 422 now instead of burning a slot on
+	// a run that deterministically dies.
+	if ok, cooldown := d.breaker.allow(key); !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(int((cooldown+time.Second-1)/time.Second)))
+		jsonError(w, http.StatusUnprocessableEntity,
+			"input poisoned: this exact request repeatedly crashed the engine; retry after the cooldown")
+		return
+	}
+
+	// Admission: requests compete inside their cost class (plus the
+	// shared reserve), so a flood of heavy sweeps sheds 429 while
+	// cheap interactive runs keep being served from the light pool.
+	// The Retry-After hint scales with the shedding class's queue.
+	class := req.Class(d.cfg.HeavyOpsThreshold)
+	w.Header().Set("X-Simd-Class", class.String())
+	tok, shed, err := d.admit.acquire(r.Context(), class)
+	if shed {
+		slots := d.classSlots(class)
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterSeconds(d.cfg.DefaultTimeout, d.admit.queued(class), slots)))
+		jsonError(w, http.StatusTooManyRequests, class.String()+" admission queue full")
+		return
+	}
+	if err != nil {
+		d.metrics.Timeouts.Add(1)
+		jsonError(w, http.StatusGatewayTimeout, "timed out waiting for an admission slot")
+		return
 	}
 	d.metrics.InFlight.Add(1)
 	defer func() {
 		d.metrics.InFlight.Add(-1)
-		<-d.sem
+		d.admit.release(tok)
 	}()
 
 	// Deadline: the request's own budget, clamped to the server
@@ -173,10 +280,12 @@ func (d *Daemon) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case err == nil:
+		d.breaker.onSuccess(key)
 		d.metrics.Completed.Add(1)
 		writeBody(w, body, "miss")
 	case errors.Is(err, ErrPanic):
 		// Panics.Add already happened in the cache lead.
+		d.breaker.onPanic(key)
 		jsonError(w, http.StatusInternalServerError, "internal error: run panicked")
 	case errors.Is(err, context.DeadlineExceeded):
 		d.metrics.Timeouts.Add(1)
@@ -190,20 +299,19 @@ func (d *Daemon) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// classSlots counts the slots a class can ever hold: its dedicated
+// pool plus the shared reserve.
+func (d *Daemon) classSlots(c Class) int {
+	if c == ClassHeavy {
+		return d.cfg.HeavySlots + d.cfg.ReserveSlots
+	}
+	return d.cfg.LightSlots + d.cfg.ReserveSlots
+}
+
 func writeBody(w http.ResponseWriter, body []byte, cacheState string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Simd-Cache", cacheState)
 	w.Write(body)
-}
-
-// retryAfterSeconds suggests how long a shed client should back off:
-// roughly one default request budget, at least a second.
-func retryAfterSeconds(d time.Duration) int {
-	s := int(d / time.Second)
-	if s < 1 {
-		s = 1
-	}
-	return s
 }
 
 func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -231,7 +339,10 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // requests get DrainTimeout to finish, and whatever is still running
 // afterwards is force-cancelled through the base context — the engines
 // abort within sim.CancelCheckEvery events, so shutdown is prompt even
-// mid-simulation. Returns nil on a clean drain.
+// mid-simulation. The durable store is drained last: pending
+// write-behind flushes get the same budget to land atomically, and
+// anything the budget does not cover is abandoned as a .tmp file,
+// never a torn final entry. Returns nil on a clean drain.
 func (d *Daemon) Serve(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{
 		Handler: d.mux,
@@ -263,6 +374,9 @@ func (d *Daemon) Serve(ctx context.Context, ln net.Listener) error {
 		fctx, fcancel := context.WithTimeout(context.Background(), time.Second)
 		defer fcancel()
 		err = srv.Shutdown(fctx)
+	}
+	if d.store != nil {
+		d.store.Drain(d.cfg.DrainTimeout)
 	}
 	return err
 }

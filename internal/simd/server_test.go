@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -19,6 +20,18 @@ import (
 // milliseconds: a 2x2x1 machine doing 4 acquires over 2 locks.
 func tinyBody(seed int64) string {
 	return fmt.Sprintf(`{"protocol":"TokenCMP-dst1","workload":"locking","locks":2,"acquires":4,"cmps":2,"procs":2,"banks":1,"seed":%d}`, seed)
+}
+
+// newTestDaemon builds a daemon and ties its teardown (force-cancel +
+// store drain) to the test.
+func newTestDaemon(t *testing.T, cfg Config) *Daemon {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
 }
 
 func post(t *testing.T, client *http.Client, url, body string) (int, http.Header, string) {
@@ -40,7 +53,7 @@ func post(t *testing.T, client *http.Client, url, body string) (int, http.Header
 // client received byte-identical bodies — the cache-key determinism
 // contract.
 func TestServerCollapsesDuplicates(t *testing.T) {
-	d := New(Config{MaxConcurrent: 4, QueueDepth: 32})
+	d := newTestDaemon(t, Config{MaxConcurrent: 4, QueueDepth: 32})
 	ts := httptest.NewServer(d.Handler())
 	defer ts.Close()
 	const n = 12
@@ -80,7 +93,7 @@ func TestServerCollapsesDuplicates(t *testing.T) {
 // depth-1 queue with hanging runs and asserts the next request is
 // shed with 429 and a Retry-After hint instead of queueing.
 func TestServerShedsAtCapacity(t *testing.T) {
-	d := New(Config{MaxConcurrent: 1, QueueDepth: 1, DefaultTimeout: 2 * time.Second, Chaos: true})
+	d := newTestDaemon(t, Config{MaxConcurrent: 1, QueueDepth: 1, DefaultTimeout: 2 * time.Second, Chaos: true})
 	ts := httptest.NewServer(d.Handler())
 	defer ts.Close()
 	hang := func(seed int64) string {
@@ -123,7 +136,7 @@ func TestServerShedsAtCapacity(t *testing.T) {
 // tiny budget and asserts the request comes back 504 promptly — the
 // deadline must reach the event loop, not just the HTTP layer.
 func TestServerDeadlineAbortsEngine(t *testing.T) {
-	d := New(Config{MaxConcurrent: 2, QueueDepth: 4})
+	d := newTestDaemon(t, Config{MaxConcurrent: 2, QueueDepth: 4})
 	ts := httptest.NewServer(d.Handler())
 	defer ts.Close()
 	big := `{"protocol":"TokenCMP-dst1","workload":"locking","acquires":60000,"timeout_ms":50}`
@@ -144,7 +157,7 @@ func TestServerDeadlineAbortsEngine(t *testing.T) {
 // TestServerPanicIsolation asserts a poisoned request yields one 500
 // and leaves the daemon fully serviceable.
 func TestServerPanicIsolation(t *testing.T) {
-	d := New(Config{MaxConcurrent: 2, QueueDepth: 4, Chaos: true})
+	d := newTestDaemon(t, Config{MaxConcurrent: 2, QueueDepth: 4, Chaos: true})
 	ts := httptest.NewServer(d.Handler())
 	defer ts.Close()
 	code, _, body := post(t, ts.Client(), ts.URL, `{"workload":"__panic"}`)
@@ -164,7 +177,7 @@ func TestServerPanicIsolation(t *testing.T) {
 // unknown fields, unknown protocol, out-of-range values, and chaos
 // workloads without the chaos gate.
 func TestServerRejectsBadInput(t *testing.T) {
-	d := New(Config{})
+	d := newTestDaemon(t, Config{})
 	ts := httptest.NewServer(d.Handler())
 	defer ts.Close()
 	for _, body := range []string{
@@ -189,7 +202,7 @@ func TestServerRejectsBadInput(t *testing.T) {
 // TestServerResponseShape decodes a body back into Response and spot
 // checks the simulation actually happened.
 func TestServerResponseShape(t *testing.T) {
-	d := New(Config{})
+	d := newTestDaemon(t, Config{})
 	ts := httptest.NewServer(d.Handler())
 	defer ts.Close()
 	code, _, body := post(t, ts.Client(), ts.URL, tinyBody(7))
@@ -216,7 +229,7 @@ func TestServerResponseShape(t *testing.T) {
 // the hanging run is force-cancelled after the drain budget, and
 // Serve returns.
 func TestServeDrain(t *testing.T) {
-	d := New(Config{
+	d := newTestDaemon(t, Config{
 		MaxConcurrent: 2, QueueDepth: 4, Chaos: true,
 		DefaultTimeout: 30 * time.Second,
 		DrainTimeout:   150 * time.Millisecond,
@@ -293,5 +306,218 @@ func TestServeDrain(t *testing.T) {
 		t.Logf("hanging request resolved: code=%d body=%s", r.code, r.body)
 	case <-time.After(2 * time.Second):
 		t.Fatal("hanging request still alive after drain + force-cancel")
+	}
+}
+
+// TestServerRestartServesFromDisk is the in-process crash-restart
+// test: populate a daemon's durable cache, boot a second daemon on
+// the same directory (with torn and stale-tmp debris injected, as a
+// kill -9 would leave), and assert every fully-written entry is
+// served byte-identical from disk with zero re-runs while the debris
+// is discarded and counted.
+func TestServerRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	d1 := newTestDaemon(t, Config{CacheDir: dir, CacheTTL: time.Hour})
+	ts1 := httptest.NewServer(d1.Handler())
+	const n = 3
+	bodies := make([]string, n)
+	for i := 0; i < n; i++ {
+		code, _, body := post(t, ts1.Client(), ts1.URL, tinyBody(int64(i+1)))
+		if code != http.StatusOK {
+			t.Fatalf("seed %d: status %d body %s", i+1, code, body)
+		}
+		bodies[i] = body
+	}
+	waitFor(t, func() bool { return d1.Metrics().PersistWritten.Load() >= n }, "write-behind flushes")
+	ts1.Close()
+	d1.Close()
+
+	// Debris a kill -9 mid-write can leave: a truncated entry and a
+	// stale .tmp. The restore pass must discard both, count them, and
+	// keep booting.
+	frame := encodeFrame("torn-key", []byte("half"), time.Time{})
+	writeRaw(t, d1.store.entryPath("torn-key"), frame[:len(frame)-3])
+	writeRaw(t, d1.store.entryPath("stale")+tmpExt, []byte("unfinished"))
+
+	d2 := newTestDaemon(t, Config{CacheDir: dir, CacheTTL: time.Hour})
+	ts2 := httptest.NewServer(d2.Handler())
+	defer ts2.Close()
+	if got := d2.Metrics().Restored.Load(); got != n {
+		t.Errorf("Restored = %d, want %d", got, n)
+	}
+	if got := d2.Metrics().RestoreTorn.Load(); got != 2 {
+		t.Errorf("RestoreTorn = %d, want 2 (torn entry + stale tmp)", got)
+	}
+	for i := 0; i < n; i++ {
+		code, hdr, body := post(t, ts2.Client(), ts2.URL, tinyBody(int64(i+1)))
+		if code != http.StatusOK || body != bodies[i] {
+			t.Fatalf("seed %d after restart: status %d, byte-identical %t", i+1, code, body == bodies[i])
+		}
+		if hdr.Get("X-Simd-Cache") != "hit" {
+			t.Errorf("seed %d after restart: X-Simd-Cache = %q, want hit", i+1, hdr.Get("X-Simd-Cache"))
+		}
+	}
+	if runs := d2.Metrics().Runs.Load(); runs != 0 {
+		t.Errorf("restart re-ran %d simulations for warm keys, want 0", runs)
+	}
+}
+
+// TestServerRestartHonorsTTL asserts a restored entry keeps its
+// original absolute expiry: a body written with a short TTL is gone
+// after a restart that happens past the deadline, and the restore
+// pass counts it as expired.
+func TestServerRestartHonorsTTL(t *testing.T) {
+	dir := t.TempDir()
+	d1 := newTestDaemon(t, Config{CacheDir: dir, CacheTTL: 50 * time.Millisecond})
+	ts1 := httptest.NewServer(d1.Handler())
+	code, _, _ := post(t, ts1.Client(), ts1.URL, tinyBody(1))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	waitFor(t, func() bool { return d1.Metrics().PersistWritten.Load() >= 1 }, "write-behind flush")
+	ts1.Close()
+	d1.Close()
+	time.Sleep(80 * time.Millisecond) // entry is now past its absolute expiry
+
+	d2 := newTestDaemon(t, Config{CacheDir: dir, CacheTTL: 50 * time.Millisecond})
+	if got := d2.Metrics().RestoreExpired.Load(); got != 1 {
+		t.Errorf("RestoreExpired = %d, want 1", got)
+	}
+	if got := d2.Metrics().Restored.Load(); got != 0 {
+		t.Errorf("Restored = %d, want 0 (the entry died with its TTL)", got)
+	}
+}
+
+// TestServerHeavyFloodDoesNotStarveLight is the starvation test: a
+// flood of heavy-class hangs saturates the heavy pool, the reserve,
+// and the heavy queue — yet cheap requests keep completing out of the
+// light pool with bounded admission latency, and the heavy flood
+// sheds 429 with a Retry-After scaled by its own queue.
+func TestServerHeavyFloodDoesNotStarveLight(t *testing.T) {
+	d := newTestDaemon(t, Config{
+		LightSlots: 1, HeavySlots: 1, ReserveSlots: 1,
+		LightQueue: 4, HeavyQueue: 2,
+		DefaultTimeout: 5 * time.Second, Chaos: true,
+	})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	// A hang classed heavy: 60000 acquires x 16 procs >= the 100k threshold.
+	heavyHang := func(seed int64) string {
+		return fmt.Sprintf(`{"workload":"__hang","acquires":60000,"seed":%d,"timeout_ms":2500}`, seed)
+	}
+	const flood = 8
+	codes := make([]int, flood)
+	retryAfters := make([]string, flood)
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var hdr http.Header
+			codes[i], hdr, _ = post(t, ts.Client(), ts.URL, heavyHang(int64(i+1)))
+			retryAfters[i] = hdr.Get("Retry-After")
+		}(i)
+	}
+	// Saturation: 2 heavy holding slots (dedicated + reserve), 2 queued.
+	waitFor(t, func() bool {
+		return d.Metrics().InFlight.Load() >= 2 && d.Metrics().ClassShed[ClassHeavy].Load() >= flood-4
+	}, "heavy saturation and shedding")
+
+	// The cheap class still completes, promptly, while the flood holds.
+	for seed := int64(1); seed <= 3; seed++ {
+		start := time.Now()
+		code, hdr, body := post(t, ts.Client(), ts.URL, tinyBody(seed))
+		if code != http.StatusOK {
+			t.Fatalf("light request under heavy flood: status %d body %s", code, body)
+		}
+		if hdr.Get("X-Simd-Class") != "light" {
+			t.Errorf("X-Simd-Class = %q, want light", hdr.Get("X-Simd-Class"))
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("light admission latency %v under heavy flood; the light pool is starved", elapsed)
+		}
+	}
+	wg.Wait()
+
+	shed429 := 0
+	for i, code := range codes {
+		if code != http.StatusTooManyRequests {
+			continue
+		}
+		shed429++
+		ra, err := strconv.Atoi(retryAfters[i])
+		if err != nil || ra < 1 {
+			t.Errorf("shed heavy request %d: Retry-After = %q, want a positive integer", i, retryAfters[i])
+		}
+		// Scaled hint: base 5s budget x (1 + queued/slots) > plain base.
+		if ra < 5 {
+			t.Errorf("shed heavy request %d: Retry-After = %d, want >= the 5s base budget", i, ra)
+		}
+	}
+	if shed429 != flood-4 {
+		t.Errorf("heavy flood: %d shed with 429, want %d (2 slots + 2 queued survive)", shed429, flood-4)
+	}
+	if got := d.Metrics().ClassShed[ClassLight].Load(); got != 0 {
+		t.Errorf("light class shed %d requests during a heavy flood", got)
+	}
+	if got := d.Metrics().ClassAdmitted[ClassLight].Load(); got < 3 {
+		t.Errorf("ClassAdmitted[light] = %d, want >= 3", got)
+	}
+}
+
+// TestServerBreaker422 drives the poison-input breaker end to end:
+// the same chaos-panic key 500s until the threshold, then answers 422
+// with a Retry-After immediately (no engine run), while a different
+// key still reaches the engine.
+func TestServerBreaker422(t *testing.T) {
+	d := newTestDaemon(t, Config{
+		MaxConcurrent: 2, QueueDepth: 4, Chaos: true,
+		BreakerPanics: 2, BreakerCooldown: time.Hour,
+	})
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	poison := `{"workload":"__panic","seed":42}`
+	for i := 0; i < 2; i++ {
+		code, _, body := post(t, ts.Client(), ts.URL, poison)
+		if code != http.StatusInternalServerError {
+			t.Fatalf("panic %d: status %d body %s", i+1, code, body)
+		}
+	}
+	runsBefore := d.Metrics().Runs.Load()
+	code, hdr, body := post(t, ts.Client(), ts.URL, poison)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("post-threshold status = %d body %s, want 422", code, body)
+	}
+	if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("422 Retry-After = %q, want a positive integer", hdr.Get("Retry-After"))
+	}
+	if got := d.Metrics().Runs.Load(); got != runsBefore {
+		t.Errorf("the breaker let the engine run again: Runs %d -> %d", runsBefore, got)
+	}
+	if d.Metrics().BreakerOpen.Load() != 1 || d.Metrics().BreakerRejected.Load() != 1 {
+		t.Errorf("breaker counters open=%d rejected=%d, want 1/1",
+			d.Metrics().BreakerOpen.Load(), d.Metrics().BreakerRejected.Load())
+	}
+	// A different seed is a different key: still served (and still panics).
+	code, _, _ = post(t, ts.Client(), ts.URL, `{"workload":"__panic","seed":43}`)
+	if code != http.StatusInternalServerError {
+		t.Errorf("unrelated key: status %d, want 500 (breaker must be per-key)", code)
+	}
+	// An honest request is untouched.
+	code, _, _ = post(t, ts.Client(), ts.URL, tinyBody(1))
+	if code != http.StatusOK {
+		t.Errorf("honest request during open breaker: status %d", code)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# CI crash-restart smoke test for the simd durable cache: populate the
+# on-disk store, SIGKILL the daemon mid-traffic (no drain, no
+# warning), reboot on the same -cache-dir, and prove that
+#
+#   * every fully-written entry is served as a warm cache hit with
+#     byte-identical bodies and zero re-runs,
+#   * /metrics reports the restore counts (restored entries, torn
+#     files discarded — including a deliberately injected torn frame
+#     and a stale .tmp),
+#   * the reboot never fails over the debris a kill -9 leaves behind.
+set -euo pipefail
+
+ADDR=127.0.0.1:18124
+WORKDIR=$(mktemp -d)
+CACHEDIR="$WORKDIR/cache"
+trap 'kill -9 "$SIMD_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+go build -o "$WORKDIR/simd" ./cmd/simd
+
+metric() { # metric NAME -> value from /metrics
+  curl -fsS "$ADDR/metrics" | awk -v m="$1" '$1 == m {print $2}'
+}
+
+wait_ready() {
+  for _ in $(seq 1 50); do
+    curl -fsS "$ADDR/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "simd never became ready" >&2
+  return 1
+}
+
+body_for_seed() {
+  echo "{\"protocol\":\"TokenCMP-dst1\",\"workload\":\"locking\",\"locks\":4,\"acquires\":16,\"cmps\":2,\"procs\":2,\"banks\":1,\"seed\":$1}"
+}
+
+# ---- Boot 1: populate the durable cache. -------------------------------
+"$WORKDIR/simd" -addr "$ADDR" -cache-dir "$CACHEDIR" >"$WORKDIR/simd1.log" 2>&1 &
+SIMD_PID=$!
+wait_ready
+
+N=4
+for i in $(seq 1 $N); do
+  curl -fsS -X POST "$ADDR/run" -d "$(body_for_seed "$i")" -o "$WORKDIR/cold-$i.json"
+done
+
+# Persistence is write-behind: wait for all N durable flushes before
+# pulling the plug, so the crash tests recovery, not the flush race.
+for _ in $(seq 1 50); do
+  [ "$(metric simd_persist_written_total)" = "$N" ] && break
+  sleep 0.1
+done
+if [ "$(metric simd_persist_written_total)" != "$N" ]; then
+  echo "expected $N durable writes before the crash, got $(metric simd_persist_written_total)" >&2
+  exit 1
+fi
+
+# Keep traffic in flight (new seeds, so new runs + new flushes racing
+# the kill) and SIGKILL mid-stream: no drain, no atexit, nothing.
+for i in $(seq 101 104); do
+  curl -fsS -X POST "$ADDR/run" -d "$(body_for_seed "$i")" -o /dev/null &
+done
+sleep 0.05
+kill -9 "$SIMD_PID"
+wait "$SIMD_PID" 2>/dev/null || true
+
+# ---- Inject the debris a torn flush would leave. -----------------------
+# A truncated entry frame (torn write) and a stale .tmp; the restore
+# pass must delete and count both, not refuse to boot.
+first_entry=$(ls "$CACHEDIR"/*.sce | head -1)
+head -c 20 "$first_entry" >"$CACHEDIR/00torn.sce"
+printf 'unfinished flush' >"$CACHEDIR/00stale.sce.tmp"
+
+# ---- Boot 2: same cache dir, assert warm recovery. ---------------------
+"$WORKDIR/simd" -addr "$ADDR" -cache-dir "$CACHEDIR" >"$WORKDIR/simd2.log" 2>&1 &
+SIMD_PID=$!
+wait_ready
+
+restored=$(metric simd_persist_restored_total)
+torn=$(metric simd_persist_torn_discarded_total)
+if [ "$restored" -lt "$N" ]; then
+  echo "expected >= $N restored entries after reboot, got $restored" >&2
+  exit 1
+fi
+if [ "$torn" -lt 2 ]; then
+  echo "expected >= 2 torn files discarded (injected frame + stale tmp), got $torn" >&2
+  exit 1
+fi
+
+for i in $(seq 1 $N); do
+  hit=$(curl -fsS -D - -X POST "$ADDR/run" -d "$(body_for_seed "$i")" -o "$WORKDIR/warm-$i.json" |
+    tr -d '\r' | awk -F': ' '/^X-Simd-Cache/ {print $2}')
+  cmp "$WORKDIR/cold-$i.json" "$WORKDIR/warm-$i.json"
+  if [ "$hit" != "hit" ]; then
+    echo "seed $i not served from the restored cache (X-Simd-Cache=$hit)" >&2
+    exit 1
+  fi
+done
+
+# Warm hits must not have re-run the simulator.
+runs=$(metric simd_runs_total)
+if [ "$runs" != "0" ]; then
+  echo "expected 0 re-runs for restored entries, got $runs" >&2
+  exit 1
+fi
+
+# No .tmp residue survives restore; the reboot banner reported the pass.
+if ls "$CACHEDIR"/*.tmp >/dev/null 2>&1; then
+  echo "stale .tmp files survived the restore pass" >&2
+  exit 1
+fi
+grep -q "restored=" "$WORKDIR/simd2.log"
+
+# Clean SIGTERM exit still works after a crash-recovery boot.
+kill -TERM "$SIMD_PID"
+wait "$SIMD_PID"
+grep -q "drained cleanly" "$WORKDIR/simd2.log"
+echo "simd crash-restart smoke OK"
